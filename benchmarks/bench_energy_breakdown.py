@@ -1,0 +1,48 @@
+"""Supplementary exhibit — energy breakdown behind Figure 3.
+
+Not a paper table, but the mechanism check for the headline result: cache
+downsizing attacks *leakage* first (it scales linearly with capacity,
+dynamic energy only with its square root), and the reconfiguration energy
+the framework spends (dirty-line writebacks on resize, §2.1) must remain
+a small fraction of what it saves.
+"""
+
+from benchmarks.conftest import print_exhibit
+from repro.report.exhibits import energy_breakdown
+from repro.sim.metrics import mean
+
+
+def test_energy_breakdown(benchmark, suite):
+    exhibit = benchmark.pedantic(
+        energy_breakdown, args=(suite,), rounds=1, iterations=1
+    )
+    print_exhibit(exhibit)
+    data = exhibit.data
+
+    def avg(label):
+        return mean(list(data[label].values()))
+
+    # Leakage dominates the baseline L2 (a large SRAM), which is why L2
+    # savings track capacity so strongly.
+    assert avg("L2 baseline leakage (nJ/insn)") > (
+        avg("L2 baseline dynamic (nJ/insn)")
+    )
+
+    # Adaptation cuts leakage on both caches.
+    for cache in ("L1D", "L2"):
+        saved = (
+            avg(f"{cache} baseline leakage (nJ/insn)")
+            - avg(f"{cache} hotspot leakage (nJ/insn)")
+        )
+        assert saved > 0, f"{cache}: no leakage savings"
+
+        # Reconfiguration energy is a small fraction of what it buys.
+        reconfig = avg(f"{cache} hotspot reconfig (nJ/insn)")
+        assert reconfig < 0.25 * saved, (
+            f"{cache}: reconfiguration energy {reconfig:.4f} eats too "
+            f"much of the {saved:.4f} leakage saving"
+        )
+
+    # The baseline spends no reconfiguration energy at all.
+    assert avg("L1D baseline reconfig (nJ/insn)") == 0
+    assert avg("L2 baseline reconfig (nJ/insn)") == 0

@@ -1,0 +1,38 @@
+"""Figure 1 — distribution of stable/transitional BBV phase intervals.
+
+Paper shape: most benchmarks are heavily stable (the average stable share
+is around 70 %), and javac has by far the largest transitional share —
+"ignoring transitional phases may considerably reduce the coverage of
+resource adaptation".
+"""
+
+from benchmarks.conftest import print_exhibit
+from repro.report.exhibits import figure1
+from repro.report.paper import PAPER
+
+
+def test_figure1(benchmark, suite):
+    exhibit = benchmark.pedantic(
+        figure1, args=(suite,), rounds=1, iterations=1
+    )
+    print_exhibit(exhibit)
+    stable = exhibit.data["stable"]
+
+    # Shape: the suite is predominantly stable on average.
+    assert stable["avg"] > 0.55, (
+        f"average stable share {stable['avg']:.2f} too low"
+    )
+
+    # Shape: javac is the most transitional benchmark (Figure 1's javac
+    # bar; paper prose singles it out).
+    worst = min(
+        (name for name in stable if name != "avg"),
+        key=lambda n: stable[n],
+    )
+    assert worst == PAPER["figure1"]["worst_stable_benchmark"], (
+        f"most transitional benchmark is {worst}, paper says javac"
+    )
+
+    # Shape: streaming benchmarks are near-fully stable.
+    assert stable["mpegaudio"] > 0.9
+    assert stable["compress"] > 0.8

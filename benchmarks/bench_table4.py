@@ -1,0 +1,47 @@
+"""Table 4 — runtime hotspot characteristics.
+
+Paper shape: hotspots cover ~99 % of dynamic instructions; a hotspot's
+average invocation count far exceeds hot_threshold, so the one-time
+identification latency is a small single-digit percentage of execution
+(at most 3.65 % in the paper, for compress).
+"""
+
+from benchmarks.conftest import print_exhibit
+from repro.report.exhibits import table4
+from repro.sim.config import ExperimentConfig
+
+
+def test_table4(benchmark, suite, calibrated_config: ExperimentConfig):
+    exhibit = benchmark.pedantic(
+        table4, args=(suite,), rounds=1, iterations=1
+    )
+    print_exhibit(exhibit)
+    data = exhibit.data
+
+    coverage = data["% of code in hotspots"]
+    for name, value in coverage.items():
+        assert value > 90, f"{name}: hotspot coverage {value:.1f}% too low"
+
+    invocations = data["avg invocations per hotspot"]
+    for name, value in invocations.items():
+        assert value > 5 * calibrated_config.hot_threshold, (
+            f"{name}: {value:.0f} invocations/hotspot does not dwarf "
+            f"hot_threshold={calibrated_config.hot_threshold}"
+        )
+
+    latency = data["identification latency (%)"]
+    for name, value in latency.items():
+        assert value < 12, (
+            f"{name}: identification latency {value:.1f}% too high"
+        )
+    avg_latency = sum(latency.values()) / len(latency)
+    assert avg_latency < 8
+
+    counts = data["number of hotspots"]
+    for name, value in counts.items():
+        assert value >= 5, f"{name}: only {value} hotspots detected"
+
+    # jack has the most hotspots of the smallest mean size (its column
+    # in the paper's Table 4 is the small-hotspot outlier).
+    sizes = data["average hotspot size"]
+    assert sizes["jack"] == min(sizes.values())

@@ -1,0 +1,62 @@
+"""Table 5 — runtime characteristics of the hotspot and BBV approaches.
+
+Paper shape:
+* a large majority of managed hotspots finish tuning (~88 % on average:
+  4 configurations to test instead of 16), while only a minority of BBV
+  phases do (~29 %) — yet those tuned phases still cover most intervals;
+* inter-phase IPC variation far exceeds per-phase variation for both
+  approaches (phases/hotspots are internally homogeneous but mutually
+  heterogeneous) — the paper reads this as "hotspots are closely related
+  with program behavior changes".
+"""
+
+from benchmarks.conftest import print_exhibit
+from repro.report.exhibits import table5
+from repro.sim.metrics import mean
+
+
+def test_table5(benchmark, suite):
+    exhibit = benchmark.pedantic(
+        table5, args=(suite,), rounds=1, iterations=1
+    )
+    print_exhibit(exhibit)
+    hot = exhibit.data["hotspot"]
+    bbv = exhibit.data["bbv"]
+
+    # Hotspots: both size classes observed, most hotspots tuned.
+    tuned_pct = list(hot["% of tuned hotspots"].values())
+    assert mean(tuned_pct) > 70, (
+        f"only {mean(tuned_pct):.0f}% of hotspots finish tuning"
+    )
+    for name, count in hot["number of L1D hotspots"].items():
+        assert count >= 1, f"{name}: no L1D hotspots"
+    for name, count in hot["number of L2 hotspots"].items():
+        assert count >= 1, f"{name}: no L2 hotspots"
+
+    # BBV: phases detected everywhere; a minority complete the
+    # 16-configuration tuning, but tuned phases dominate interval time.
+    tuned_phase_frac = [
+        bbv["number of tuned phases"][n]
+        / max(1, bbv["number of phases"][n])
+        for n in bbv["number of phases"]
+    ]
+    assert mean(tuned_phase_frac) < 0.8, (
+        "BBV tunes nearly every phase - its combinatorial tuning cost "
+        "is not being felt"
+    )
+    interval_cov = list(bbv["% of intervals in tuned phases"].values())
+    assert mean(interval_cov) > 45, (
+        f"tuned BBV phases cover only {mean(interval_cov):.0f}% of "
+        "intervals"
+    )
+
+    # CoV structure: inter >> per, for both approaches.
+    for label, rows in (("hotspot", hot), ("bbv", bbv)):
+        per_key = [k for k in rows if k.startswith("per-")][0]
+        inter_key = [k for k in rows if k.startswith("inter-")][0]
+        per = mean(list(rows[per_key].values()))
+        inter = mean(list(rows[inter_key].values()))
+        assert inter > 1.5 * per, (
+            f"{label}: inter-CoV {inter:.1f}% should dwarf per-CoV "
+            f"{per:.1f}%"
+        )

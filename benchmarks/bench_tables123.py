@@ -1,0 +1,35 @@
+"""Tables 1–3 — the qualitative comparison, machine configuration, and
+benchmark descriptions, with measured values substituted into Table 1."""
+
+from benchmarks.conftest import print_exhibit
+from repro.report.exhibits import table1, table2, table3
+
+
+def test_table1(benchmark, suite):
+    exhibit = benchmark.pedantic(
+        table1, args=(suite,), rounds=1, iterations=1
+    )
+    print_exhibit(exhibit)
+    # The DO-based approach tests far fewer configurations per tuning
+    # target than the combinatorial temporal approach.
+    assert (
+        exhibit.data["avg_hotspot_trials"]
+        < exhibit.data["avg_bbv_trials"]
+    )
+    # New-hotspot identification is a one-time cost, a small fraction of
+    # execution.
+    assert exhibit.data["avg_identification_latency"] < 0.10
+
+
+def test_table2(benchmark):
+    exhibit = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print_exhibit(exhibit)
+    assert "L1 D-cache" in exhibit.data
+    assert "4-way" in exhibit.data["L2 unified cache"]
+
+
+def test_table3(benchmark):
+    exhibit = benchmark.pedantic(table3, rounds=1, iterations=1)
+    print_exhibit(exhibit)
+    assert len(exhibit.data) == 7
+    assert "ray traces" in exhibit.data["mtrt"]

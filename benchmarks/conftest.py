@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The full calibrated suite (7 stand-ins x 3 schemes at the default 6 M
+instruction budget) is simulated once per session; every exhibit bench is
+a different projection of those 21 runs.  Ablation benches run their own
+additional simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+
+#: Budget used by ablation benches (shorter than the headline suite; the
+#: comparisons are within-bench, so only relative behaviour matters).
+ABLATION_BUDGET = 3_000_000
+
+
+@pytest.fixture(scope="session")
+def calibrated_config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def suite(calibrated_config):
+    """The three-scheme suite over all seven stand-ins (cached)."""
+    return run_suite(config=calibrated_config)
+
+
+def print_exhibit(exhibit) -> None:
+    print()
+    print(exhibit.rendered)

@@ -1,0 +1,85 @@
+"""Head-to-head: the paper's comparison on a benchmark subset.
+
+Runs baseline / BBV / hotspot on two stand-ins and prints Figure 3/4
+style output — the single-command version of the paper's evaluation
+(`python -m repro all` regenerates every exhibit on the full suite).
+
+    python examples/bbv_vs_hotspot.py [benchmark ...]
+"""
+
+import sys
+import time
+
+from repro.report.figures import render_grouped_bars
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+from repro.workloads.specjvm import BENCHMARK_NAMES
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["db", "javac"]
+    for name in names:
+        if name not in BENCHMARK_NAMES:
+            raise SystemExit(
+                f"unknown benchmark {name!r}; choose from "
+                f"{', '.join(BENCHMARK_NAMES)}"
+            )
+
+    config = ExperimentConfig(max_instructions=2_000_000)
+    print(f"simulating {len(names)} benchmark(s) x 3 schemes ...")
+    start = time.time()
+    suite = run_suite(names, config)
+    print(f"done in {time.time() - start:.1f}s\n")
+
+    for cache in ("L1D", "L2"):
+        print(
+            render_grouped_bars(
+                names,
+                {
+                    "BBV": [
+                        suite.comparisons[n].energy_reduction("bbv", cache)
+                        for n in names
+                    ],
+                    "hotspot": [
+                        suite.comparisons[n].energy_reduction(
+                            "hotspot", cache
+                        )
+                        for n in names
+                    ],
+                },
+                title=f"{cache} cache energy reduction over baseline",
+            )
+        )
+        print()
+    print(
+        render_grouped_bars(
+            names,
+            {
+                "BBV": [
+                    suite.comparisons[n].slowdown("bbv") for n in names
+                ],
+                "hotspot": [
+                    suite.comparisons[n].slowdown("hotspot")
+                    for n in names
+                ],
+            },
+            title="performance degradation over baseline",
+        )
+    )
+    print()
+    for name in names:
+        comparison = suite.comparisons[name]
+        hs = comparison.hotspot.hotspot_stats
+        bs = comparison.bbv.bbv_stats
+        print(
+            f"{name}: {hs.managed_hotspots} managed hotspots "
+            f"({hs.tuned_hotspots} tuned, "
+            f"{sum(hs.tunings.values())} trials) vs "
+            f"{bs.n_phases} BBV phases "
+            f"({bs.tuned_phases} tuned, "
+            f"{sum(bs.tunings.values())} trials)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Adapt caches for a program written in the textual assembly DSL.
+
+Demonstrates the public IR surface: a hand-written program with one
+streaming kernel (cache-size-insensitive) and one table-walk kernel
+(wants a 4 KB data cache), nested under a driver with a large-span sweep.
+The framework detects all three as hotspots, assigns the kernels to the
+L1D and the driver to the L2, and tunes each independently.
+
+    python examples/custom_workload.py
+"""
+
+from repro import ACEFramework, assemble
+
+SOURCE = """
+entry main
+
+method stream_kernel {
+    region 0x20000000 2048
+    block e {
+        insns 6
+        goto loop
+    }
+    block loop {
+        insns 40
+        loads 8
+        stores 2
+        mem stride span=2048 stride=64
+        loop trips=25 exit=x
+    }
+    block x {
+        insns 2
+        ret
+    }
+}
+
+method table_kernel {
+    region 0x21000000 2200
+    block e {
+        insns 6
+        goto loop
+    }
+    block loop {
+        insns 44
+        loads 10
+        stores 2
+        mem workingset span=2200 locality=0.6
+        loop trips=30 exit=x
+    }
+    block x {
+        insns 2
+        ret
+    }
+}
+
+method driver {
+    region 0x22000000 20480
+    block e {
+        insns 8
+        goto loop
+    }
+    block loop {
+        insns 30
+        loads 6
+        stores 2
+        mem workingset span=20480 locality=0.0
+        call stream_kernel
+        call table_kernel
+        loop trips=4 exit=x
+    }
+    block x {
+        insns 2
+        ret
+    }
+}
+
+method main {
+    block top {
+        insns 3
+        call driver
+        loop trips=100000 exit=end
+    }
+    block end {
+        insns 1
+        ret
+    }
+}
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print(f"assembled: {program}")
+
+    framework = ACEFramework()
+    report = framework.run(program, max_instructions=1_200_000)
+
+    print()
+    print(report.summary())
+    print()
+    print("per-hotspot decisions:")
+    stats = report.policy_stats
+    for name, kind in sorted(stats.kind_of.items()):
+        ipc = stats.hotspot_mean_ipc.get(name)
+        line = f"  {name:14s} class={kind:9s}"
+        if ipc:
+            line += f" mean IPC={ipc:.2f}"
+        print(line)
+    print()
+    print("The streaming kernel tolerates any L1D size, the table walk "
+          "needs ~4 KB, and the driver's 20 KB span sets the L2 choice — "
+          "each tuned at its own grain (CU decoupling).")
+
+
+if __name__ == "__main__":
+    main()

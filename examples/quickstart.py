@@ -1,0 +1,46 @@
+"""Quickstart: run the DO-based ACE framework on one benchmark.
+
+Builds the `db` SPECjvm98 stand-in, runs it under hotspot-driven cache
+adaptation, and compares energy and performance against the static
+maximum-size baseline — the experiment behind the paper's headline
+numbers, on one benchmark.
+
+    python examples/quickstart.py
+"""
+
+from repro import ACEFramework, build_benchmark
+
+
+def main() -> None:
+    built = build_benchmark("db")
+    framework = ACEFramework()
+
+    print("configuration:", framework.describe())
+    print(f"running '{built.name}' (1.5M instructions, adaptive then "
+          "baseline)...")
+
+    report = framework.run(
+        built.program,
+        max_instructions=1_500_000,
+        thread_entries=built.thread_entries,
+    )
+
+    print()
+    print(report.summary())
+    print()
+    print(f"  L1D energy reduction : {report.l1d_energy_reduction:.1%}")
+    print(f"  L2  energy reduction : {report.l2_energy_reduction:.1%}")
+    print(f"  slowdown             : {report.slowdown:+.2%}")
+    print(f"  hotspots detected    : {report.hotspots_detected}")
+    stats = report.policy_stats
+    print(f"  managed / tuned      : {stats.managed_hotspots} / "
+          f"{stats.tuned_hotspots}")
+    print(f"  by size class        : {stats.hotspots_by_kind}")
+    print(f"  tuning trials        : {stats.tunings}")
+    print(f"  reconfigurations     : {stats.reconfigs}")
+    print(f"  coverage             : "
+          f"{ {k: f'{v:.0%}' for k, v in stats.coverage.items()} }")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (environments without the wheel
+package, where PEP 517 editable installs are unavailable)."""
+
+from setuptools import setup
+
+setup()

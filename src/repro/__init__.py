@@ -1,0 +1,76 @@
+"""repro — reproduction of "Effective Adaptive Computing Environment
+Management via Dynamic Optimization" (Hu, Valluri, John — CGO 2005).
+
+The package implements, in pure Python, the paper's DO-based adaptive
+computing environment (ACE) management framework together with every
+substrate it needs: a mini-ISA and interpreter, a Jikes-style DO system
+(hotspot detection, JIT patching), a trace-driven microarchitecture model
+(resizable caches, branch prediction, analytic timing), a Wattch-style
+energy model, the BBV temporal baseline, and synthetic SPECjvm98 stand-in
+workloads.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quickstart::
+
+    from repro import ACEFramework, build_benchmark
+
+    built = build_benchmark("db")
+    report = ACEFramework().run(
+        built.program, max_instructions=500_000,
+        thread_entries=built.thread_entries,
+    )
+    print(report.summary())
+"""
+
+from repro.core import (
+    ACEFramework,
+    FootprintPredictor,
+    HotspotACEPolicy,
+    SizeClassifier,
+)
+from repro.core.framework import ACEReport
+from repro.isa import MethodBuilder, Program, ProgramBuilder, assemble
+from repro.phases import BBVACEPolicy
+from repro.sim.config import (
+    BBVConfig,
+    ExperimentConfig,
+    MachineConfig,
+    ScaledParameters,
+    TuningConfig,
+    build_machine,
+)
+from repro.vm import VMConfig, VirtualMachine
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark_spec,
+    build_benchmark,
+    build_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACEFramework",
+    "ACEReport",
+    "BBVACEPolicy",
+    "BBVConfig",
+    "BENCHMARK_NAMES",
+    "ExperimentConfig",
+    "FootprintPredictor",
+    "HotspotACEPolicy",
+    "MachineConfig",
+    "MethodBuilder",
+    "Program",
+    "ProgramBuilder",
+    "ScaledParameters",
+    "SizeClassifier",
+    "TuningConfig",
+    "VMConfig",
+    "VirtualMachine",
+    "assemble",
+    "benchmark_spec",
+    "build_benchmark",
+    "build_machine",
+    "build_suite",
+    "__version__",
+]

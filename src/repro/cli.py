@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate any exhibit of the paper.
+
+Examples::
+
+    python -m repro figure3
+    python -m repro table4 --benchmarks db javac --instructions 2000000
+    python -m repro all --instructions 6000000
+    python -m repro quick   # one-benchmark smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.report import exhibits
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+from repro.workloads.specjvm import BENCHMARK_NAMES
+
+SUITE_EXHIBITS = {
+    "figure1": exhibits.figure1,
+    "energy": exhibits.energy_breakdown,
+    "table1": exhibits.table1,
+    "table4": exhibits.table4,
+    "table5": exhibits.table5,
+    "table6": exhibits.table6,
+    "figure3": exhibits.figure3,
+    "figure4": exhibits.figure4,
+}
+
+STATIC_EXHIBITS = {
+    "table2": lambda: exhibits.table2(),
+    "table3": lambda: exhibits.table3(),
+}
+
+ALL_EXHIBITS = [
+    "figure1", "table1", "table2", "table3", "table4", "table5",
+    "table6", "figure3", "figure4", "energy",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ace",
+        description=(
+            "Reproduction of 'Effective Adaptive Computing Environment "
+            "Management via Dynamic Optimization' (CGO 2005): regenerate "
+            "the paper's tables and figures on synthetic SPECjvm98 "
+            "stand-ins."
+        ),
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=ALL_EXHIBITS + ["all", "quick"],
+        help="which exhibit to regenerate ('all' for every one, 'quick' "
+        "for a fast single-benchmark smoke run)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=list(BENCHMARK_NAMES),
+        default=None,
+        help="subset of benchmarks (default: all seven)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="instruction budget per run (default: calibrated 6,000,000)",
+    )
+    parser.add_argument(
+        "--hot-threshold",
+        type=int,
+        default=None,
+        help="hotspot detection threshold (invocations)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="simulation seed"
+    )
+    return parser
+
+
+def make_config(args) -> ExperimentConfig:
+    config = ExperimentConfig()
+    if args.instructions is not None:
+        config.max_instructions = args.instructions
+    if args.hot_threshold is not None:
+        config.hot_threshold = args.hot_threshold
+    if args.seed is not None:
+        config.seed = args.seed
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.exhibit in STATIC_EXHIBITS:
+        print(STATIC_EXHIBITS[args.exhibit]().rendered)
+        return 0
+
+    config = make_config(args)
+    if args.exhibit == "quick":
+        from repro.sim.experiment import compare_schemes
+
+        config.max_instructions = min(config.max_instructions, 1_500_000)
+        start = time.time()
+        comparison = compare_schemes(
+            (args.benchmarks or ["db"])[0], config
+        )
+        for cache in ("L1D", "L2"):
+            print(
+                f"{cache} energy reduction: "
+                f"BBV {comparison.energy_reduction('bbv', cache):.1%}, "
+                f"hotspot "
+                f"{comparison.energy_reduction('hotspot', cache):.1%}"
+            )
+        print(
+            f"slowdown: BBV {comparison.slowdown('bbv'):.2%}, "
+            f"hotspot {comparison.slowdown('hotspot'):.2%}"
+        )
+        print(f"({time.time() - start:.1f}s)")
+        return 0
+
+    start = time.time()
+    suite = run_suite(args.benchmarks, config)
+    elapsed = time.time() - start
+    wanted = (
+        ALL_EXHIBITS if args.exhibit == "all" else [args.exhibit]
+    )
+    for name in wanted:
+        if name in STATIC_EXHIBITS:
+            print(STATIC_EXHIBITS[name]().rendered)
+        else:
+            print(SUITE_EXHIBITS[name](suite).rendered)
+        print()
+    print(f"(suite simulated in {elapsed:.0f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""CU decoupling: matching hotspots with configurable-unit subsets.
+
+Paper §3.2.1: the sampling-interval approaches must adapt every CU at the
+pace of the *slowest* one; the DO-based framework instead adapts each CU at
+hotspots whose dynamic size matches that CU's reconfiguration interval.
+The paper's concrete bands — L1D (100 K-instruction interval) at hotspots
+of 50 K–500 K instructions, L2 (1 M interval) at hotspots above 500 K —
+generalise to ``[0.5 x interval, 5 x interval)`` per CU, with the
+largest-interval CU unbounded above.  :class:`SizeClassifier` implements
+that rule for any CU population, which is what makes the framework
+"inherently scalable to a large number of configurable resources"
+(paper §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Band bounds relative to a CU's reconfiguration interval.
+LOWER_FACTOR = 0.5
+UPPER_FACTOR = 5.0
+
+
+@dataclass(frozen=True)
+class CUAssignment:
+    """The CU subset chosen for one hotspot."""
+
+    hotspot: str
+    size: float
+    cu_names: Tuple[str, ...]
+
+    @property
+    def is_managed(self) -> bool:
+        return bool(self.cu_names)
+
+
+class SizeClassifier:
+    """Maps hotspot sizes to CU subsets by reconfiguration interval.
+
+    ``intervals`` maps CU name to its (scaled) reconfiguration interval in
+    instructions.  CUs sharing an interval share a band and are tuned
+    together at the same hotspots (their configuration lists are the
+    cartesian product — paper §3.2.2 "a list of configuration combinations
+    of the selected CUs").
+    """
+
+    def __init__(self, intervals: Dict[str, int]):
+        if not intervals:
+            raise ValueError("need at least one CU")
+        for name, interval in intervals.items():
+            if interval <= 0:
+                raise ValueError(
+                    f"CU {name!r}: interval must be positive, got {interval}"
+                )
+        self.intervals = dict(intervals)
+        self._max_interval = max(intervals.values())
+
+    def band(self, cu_name: str) -> Tuple[float, float]:
+        """The hotspot-size band ``[lo, hi)`` in which ``cu_name`` is tuned."""
+        interval = self.intervals[cu_name]
+        lower = LOWER_FACTOR * interval
+        if interval == self._max_interval:
+            return lower, float("inf")
+        return lower, UPPER_FACTOR * interval
+
+    def cus_for_size(self, size: float) -> Tuple[str, ...]:
+        """CU names whose band contains ``size`` (insertion order)."""
+        chosen: List[str] = []
+        for name in self.intervals:
+            lower, upper = self.band(name)
+            if lower <= size < upper:
+                chosen.append(name)
+        return tuple(chosen)
+
+    def assign(self, hotspot_name: str, size: float) -> CUAssignment:
+        return CUAssignment(hotspot_name, size, self.cus_for_size(size))
+
+    def classify_kind(self, size: float) -> str:
+        """Human-readable class for reporting: the smallest-interval CU in
+        the hotspot's subset, or 'unmanaged'."""
+        cus = self.cus_for_size(size)
+        if not cus:
+            return "unmanaged"
+        return min(cus, key=lambda name: self.intervals[name])
+
+    @classmethod
+    def from_machine(cls, machine) -> "SizeClassifier":
+        """Build from a machine model's registered CUs."""
+        return cls(
+            {
+                name: cu.reconfiguration_interval
+                for name, cu in machine.cus.items()
+            }
+        )
+
+    def __repr__(self) -> str:
+        bands = ", ".join(
+            f"{name}: [{self.band(name)[0]:.0f}, {self.band(name)[1]:.0f})"
+            for name in self.intervals
+        )
+        return f"SizeClassifier({bands})"

@@ -1,0 +1,241 @@
+"""High-level facade over the ACE management framework.
+
+:class:`ACEFramework` bundles the pieces a user needs to run the paper's
+scheme over their own program: it builds the machine, wires the hotspot
+policy into a VM, runs it, and reports energy/performance against an
+equivalent static-maximum baseline.  The examples and the quickstart use
+this API; the benchmark harness drives the lower layers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.policy import HotspotACEPolicy, HotspotPolicyStats
+from repro.core.prediction import FootprintPredictor, install_program_for_prediction
+from repro.isa.program import Program
+from repro.sim.config import MachineConfig, TuningConfig, build_machine
+from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
+
+
+@dataclass
+class ACEReport:
+    """Outcome of one adaptive run vs. its static baseline.
+
+    Both runs retire the same instruction budget (give or take one block at
+    the stopping boundary), so energies and cycles are compared
+    per-instruction.
+    """
+
+    instructions: int
+    baseline_instructions: int
+    adaptive_cycles: float
+    baseline_cycles: float
+    l1d_energy_nj: float
+    l2_energy_nj: float
+    baseline_l1d_energy_nj: float
+    baseline_l2_energy_nj: float
+    policy_stats: HotspotPolicyStats
+    hotspots_detected: int
+
+    def _per_insn_reduction(self, adaptive: float, baseline: float) -> float:
+        if (
+            baseline <= 0
+            or self.instructions <= 0
+            or self.baseline_instructions <= 0
+        ):
+            return 0.0
+        adaptive_rate = adaptive / self.instructions
+        baseline_rate = baseline / self.baseline_instructions
+        return 1.0 - adaptive_rate / baseline_rate
+
+    @property
+    def l1d_energy_reduction(self) -> float:
+        return self._per_insn_reduction(
+            self.l1d_energy_nj, self.baseline_l1d_energy_nj
+        )
+
+    @property
+    def l2_energy_reduction(self) -> float:
+        return self._per_insn_reduction(
+            self.l2_energy_nj, self.baseline_l2_energy_nj
+        )
+
+    @property
+    def slowdown(self) -> float:
+        """Relative CPI increase of the adaptive run over the baseline."""
+        reduction = self._per_insn_reduction(
+            self.adaptive_cycles, self.baseline_cycles
+        )
+        return -reduction
+
+    def summary(self) -> str:
+        return (
+            f"L1D energy -{self.l1d_energy_reduction:.1%}, "
+            f"L2 energy -{self.l2_energy_reduction:.1%}, "
+            f"slowdown {self.slowdown:+.2%}, "
+            f"{self.hotspots_detected} hotspots "
+            f"({self.policy_stats.tuned_hotspots} tuned)"
+        )
+
+
+class ACEFramework:
+    """Run a program under DO-based ACE management.
+
+    Typical use::
+
+        framework = ACEFramework()
+        report = framework.run(program, max_instructions=1_000_000)
+        print(report.summary())
+    """
+
+    def __init__(
+        self,
+        machine_config: Optional[MachineConfig] = None,
+        tuning: Optional[TuningConfig] = None,
+        vm_config: Optional[VMConfig] = None,
+        use_prediction: bool = False,
+        decoupling: bool = True,
+    ):
+        self.machine_config = machine_config or MachineConfig()
+        self.tuning = tuning or TuningConfig()
+        self.vm_config = vm_config or VMConfig()
+        self.use_prediction = use_prediction
+        self.decoupling = decoupling
+
+    def _run_once(
+        self,
+        program: Program,
+        policy: AdaptationHooks,
+        max_instructions: int,
+        thread_entries: Optional[Sequence[str]],
+        with_prediction: bool = False,
+    ) -> VirtualMachine:
+        machine = build_machine(self.machine_config)
+        if with_prediction:
+            install_program_for_prediction(machine, program)
+        vm = VirtualMachine(
+            program,
+            machine,
+            policy=policy,
+            config=self.vm_config,
+            thread_entries=thread_entries,
+        )
+        vm.run(max_instructions)
+        return vm
+
+    def run(
+        self,
+        program: Program,
+        max_instructions: int,
+        thread_entries: Optional[Sequence[str]] = None,
+    ) -> ACEReport:
+        """Run adaptively and against the static baseline; return the report."""
+        predictor = FootprintPredictor() if self.use_prediction else None
+        policy = HotspotACEPolicy(
+            tuning=self.tuning,
+            predictor=predictor,
+            decoupling=self.decoupling,
+        )
+        adaptive = self._run_once(
+            program,
+            policy,
+            max_instructions,
+            thread_entries,
+            with_prediction=self.use_prediction,
+        )
+        baseline = self._run_once(
+            program, AdaptationHooks(), max_instructions, thread_entries
+        )
+        stats = policy.finalize()
+        return ACEReport(
+            instructions=adaptive.machine.instructions,
+            baseline_instructions=baseline.machine.instructions,
+            adaptive_cycles=adaptive.machine.cycles,
+            baseline_cycles=baseline.machine.cycles,
+            l1d_energy_nj=adaptive.machine.energy.l1d.total_nj,
+            l2_energy_nj=adaptive.machine.energy.l2.total_nj,
+            baseline_l1d_energy_nj=baseline.machine.energy.l1d.total_nj,
+            baseline_l2_energy_nj=baseline.machine.energy.l2.total_nj,
+            policy_stats=stats,
+            hotspots_detected=len(adaptive.database.hotspots),
+        )
+
+    def compare(
+        self,
+        program: Program,
+        max_instructions: int,
+        thread_entries: Optional[Sequence[str]] = None,
+        schemes: Sequence[str] = ("hotspot", "bbv"),
+    ) -> Dict[str, ACEReport]:
+        """Run several adaptation schemes on one program.
+
+        Each scheme is compared against the same static-maximum baseline;
+        returns scheme name -> :class:`ACEReport`.  Recognised schemes:
+        ``hotspot`` (the paper's framework), ``bbv`` (the temporal
+        baseline), ``positional`` (large-procedure adaptation).
+        """
+        from repro.phases.policy import BBVACEPolicy
+        from repro.phases.positional import PositionalACEPolicy
+
+        def build_policy(scheme: str) -> AdaptationHooks:
+            if scheme == "hotspot":
+                return HotspotACEPolicy(
+                    tuning=self.tuning, decoupling=self.decoupling
+                )
+            if scheme == "bbv":
+                return BBVACEPolicy(tuning=self.tuning)
+            if scheme == "positional":
+                return PositionalACEPolicy(tuning=self.tuning)
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of "
+                "'hotspot', 'bbv', 'positional'"
+            )
+
+        baseline = self._run_once(
+            program, AdaptationHooks(), max_instructions, thread_entries
+        )
+        reports: Dict[str, ACEReport] = {}
+        for scheme in schemes:
+            policy = build_policy(scheme)
+            adaptive = self._run_once(
+                program, policy, max_instructions, thread_entries
+            )
+            stats = (
+                policy.finalize()
+                if hasattr(policy, "finalize")
+                else HotspotPolicyStats()
+            )
+            if not isinstance(stats, HotspotPolicyStats):
+                stats = HotspotPolicyStats()  # BBV stats differ in shape
+            reports[scheme] = ACEReport(
+                instructions=adaptive.machine.instructions,
+                baseline_instructions=baseline.machine.instructions,
+                adaptive_cycles=adaptive.machine.cycles,
+                baseline_cycles=baseline.machine.cycles,
+                l1d_energy_nj=adaptive.machine.energy.l1d.total_nj,
+                l2_energy_nj=adaptive.machine.energy.l2.total_nj,
+                baseline_l1d_energy_nj=baseline.machine.energy.l1d.total_nj,
+                baseline_l2_energy_nj=baseline.machine.energy.l2.total_nj,
+                policy_stats=stats,
+                hotspots_detected=len(adaptive.database.hotspots),
+            )
+        return reports
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable configuration snapshot (docs/examples)."""
+        params = self.machine_config.params
+        return {
+            "scale": params.scale,
+            "l1d_interval": params.l1d_reconfig_interval,
+            "l2_interval": params.l2_reconfig_interval,
+            "l1d_hotspot_band": (
+                params.l1d_hotspot_min, params.l1d_hotspot_max
+            ),
+            "l2_hotspot_min": params.l2_hotspot_min,
+            "performance_threshold": self.tuning.performance_threshold,
+            "hot_threshold": self.vm_config.hot_threshold,
+            "prediction": self.use_prediction,
+            "decoupling": self.decoupling,
+        }

@@ -1,0 +1,175 @@
+"""Runtime energy accounting.
+
+One :class:`CacheEnergyModel` per configurable cache tracks dynamic,
+leakage, and reconfiguration energy, always pricing at the cache's *current*
+setting.  The :class:`EnergyModel` aggregates the per-component accounts and
+is what the adaptation policies snapshot to judge a configuration's energy
+efficiency (paper §3.2.2) and what the evaluation reports (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.energy.params import (
+    CacheEnergySpec,
+    EnergyPoint,
+    MEMORY_ACCESS_NJ,
+    scaled_energy_table,
+)
+
+
+class CacheEnergyModel:
+    """Energy account of one size-configurable cache."""
+
+    __slots__ = (
+        "name",
+        "spec",
+        "_table",
+        "_read_nj",
+        "_write_nj",
+        "_leak_nj",
+        "current_size",
+        "dynamic_nj",
+        "leakage_nj",
+        "reconfig_nj",
+    )
+
+    def __init__(
+        self, name: str, spec: CacheEnergySpec, sizes: Sequence[int],
+        initial_size: int,
+    ):
+        self.name = name
+        self.spec = spec
+        self._table: Dict[int, EnergyPoint] = scaled_energy_table(spec, sizes)
+        if initial_size not in self._table:
+            raise ValueError(
+                f"{name}: initial size {initial_size} not in table"
+            )
+        self.dynamic_nj = 0.0
+        self.leakage_nj = 0.0
+        self.reconfig_nj = 0.0
+        self.current_size = initial_size
+        self._bind(initial_size)
+
+    def _bind(self, size: int) -> None:
+        point = self._table[size]
+        self._read_nj = point.read_nj
+        self._write_nj = point.write_nj
+        self._leak_nj = point.leak_nj_per_cycle
+
+    def set_size(self, size: int) -> None:
+        """Re-price after a reconfiguration."""
+        if size not in self._table:
+            raise ValueError(f"{self.name}: size {size} not in table")
+        self.current_size = size
+        self._bind(size)
+
+    # -- hot path ---------------------------------------------------------
+
+    def add_accesses(self, reads: int, writes: int) -> None:
+        self.dynamic_nj += reads * self._read_nj + writes * self._write_nj
+
+    def add_cycles(self, cycles: float) -> None:
+        self.leakage_nj += cycles * self._leak_nj
+
+    def add_reconfig_writebacks(self, dirty_lines: int) -> None:
+        self.reconfig_nj += dirty_lines * self.spec.writeback_line_nj
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.leakage_nj + self.reconfig_nj
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "dynamic": self.dynamic_nj,
+            "leakage": self.leakage_nj,
+            "reconfig": self.reconfig_nj,
+            "total": self.total_nj,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheEnergyModel({self.name!r}, size={self.current_size}, "
+            f"total={self.total_nj:.1f}nJ)"
+        )
+
+
+class PipelineEnergyModel:
+    """Per-cycle energy of a resizable pipeline structure (IQ/ROB extension).
+
+    Energy per cycle scales linearly with the structure's entry count —
+    CAM/RAM leakage and clocking dominate these structures.
+    """
+
+    __slots__ = ("name", "full_entries", "nj_per_cycle_full", "_nj", "energy_nj",
+                 "current_entries")
+
+    def __init__(
+        self, name: str, full_entries: int, nj_per_cycle_full: float
+    ):
+        self.name = name
+        self.full_entries = full_entries
+        self.nj_per_cycle_full = nj_per_cycle_full
+        self.current_entries = full_entries
+        self._nj = nj_per_cycle_full
+        self.energy_nj = 0.0
+
+    def set_entries(self, entries: int) -> None:
+        self.current_entries = entries
+        self._nj = self.nj_per_cycle_full * entries / self.full_entries
+
+    def add_cycles(self, cycles: float) -> None:
+        self.energy_nj += cycles * self._nj
+
+
+class EnergyModel:
+    """Aggregate energy state of the simulated machine."""
+
+    def __init__(
+        self,
+        l1d: CacheEnergyModel,
+        l2: CacheEnergyModel,
+        memory_access_nj: float = MEMORY_ACCESS_NJ,
+        pipeline: Optional[Dict[str, PipelineEnergyModel]] = None,
+    ):
+        self.l1d = l1d
+        self.l2 = l2
+        self.memory_access_nj = memory_access_nj
+        self.memory_nj = 0.0
+        self.pipeline: Dict[str, PipelineEnergyModel] = dict(pipeline or {})
+
+    def add_memory_accesses(self, count: int) -> None:
+        self.memory_nj += count * self.memory_access_nj
+
+    def add_cycles(self, cycles: float) -> None:
+        """Leakage everywhere: caches always burn, whatever their size."""
+        self.l1d.add_cycles(cycles)
+        self.l2.add_cycles(cycles)
+        for component in self.pipeline.values():
+            component.add_cycles(cycles)
+
+    def cache_model(self, name: str) -> CacheEnergyModel:
+        if name == self.l1d.name:
+            return self.l1d
+        if name == self.l2.name:
+            return self.l2
+        raise KeyError(f"no cache energy model named {name!r}")
+
+    def totals(self) -> Dict[str, float]:
+        out = {
+            self.l1d.name: self.l1d.total_nj,
+            self.l2.name: self.l2.total_nj,
+            "memory": self.memory_nj,
+        }
+        for name, component in self.pipeline.items():
+            out[name] = component.energy_nj
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={value:.1f}nJ" for name, value in self.totals().items()
+        )
+        return f"EnergyModel({parts})"

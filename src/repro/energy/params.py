@@ -1,0 +1,94 @@
+"""Energy parameters and CACTI-style size scaling.
+
+All energies are in nanojoules.  At the paper's 1 GHz / 2 V operating point
+one cycle is 1 ns, so a leakage *power* of ``x`` watts is exactly ``x`` nJ
+per cycle — leakage constants below are therefore directly interpretable as
+watts.
+
+Scaling laws (conventional CACTI behaviour over one decade of capacity):
+
+* dynamic energy per access ∝ ``size ** dynamic_exponent`` (default 0.5 —
+  bitline/wordline capacitance grows roughly with the square root of
+  capacity at fixed associativity);
+* leakage ∝ ``size`` (transistor count).
+
+Absolute values are calibrated so the baseline 64 KB L1D is roughly
+half-dynamic/half-leakage and the 1 MB L2 is leakage-dominated, matching the
+qualitative regime of Wattch-era 0.18 µm models.  Only *relative* energies
+matter for the paper's reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.scaling import STRUCTURE_SCALE
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy constants for one cache size."""
+
+    read_nj: float
+    write_nj: float
+    leak_nj_per_cycle: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("read_nj", "write_nj", "leak_nj_per_cycle"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class CacheEnergySpec:
+    """Reference point + scaling law for one cache."""
+
+    ref_size: int
+    ref: EnergyPoint
+    dynamic_exponent: float = 0.5
+    #: Energy to move one dirty line to the next level on writeback/flush.
+    writeback_line_nj: float = 2.0
+
+    def point(self, size: int) -> EnergyPoint:
+        ratio = size / self.ref_size
+        dyn = ratio ** self.dynamic_exponent
+        return EnergyPoint(
+            read_nj=self.ref.read_nj * dyn,
+            write_nj=self.ref.write_nj * dyn,
+            leak_nj_per_cycle=self.ref.leak_nj_per_cycle * ratio,
+        )
+
+
+def scaled_energy_table(
+    spec: CacheEnergySpec, sizes: Sequence[int]
+) -> Dict[int, EnergyPoint]:
+    """Materialise the per-size energy table for a configurable cache."""
+    return {size: spec.point(size) for size in sizes}
+
+
+#: L1 data cache reference, anchored at the *maximum configurable size*
+#: (the structure-scaled analogue of the paper's 64 KB — see
+#: repro.sim.config.STRUCTURE_SCALE).  Only size *ratios* enter the
+#: reported energy reductions, so the anchor value is a free choice.
+DEFAULT_L1D_ENERGY = CacheEnergySpec(
+    ref_size=64 * 1024 // STRUCTURE_SCALE,
+    ref=EnergyPoint(read_nj=1.0, write_nj=1.2, leak_nj_per_cycle=0.45),
+    dynamic_exponent=0.5,
+    writeback_line_nj=2.0,
+)
+
+#: Unified L2 reference at its maximum configurable size (the scaled
+#: analogue of the paper's 1 MB); leakage-dominated, as large SRAMs are.
+DEFAULT_L2_ENERGY = CacheEnergySpec(
+    ref_size=1024 * 1024 // STRUCTURE_SCALE,
+    ref=EnergyPoint(read_nj=3.5, write_nj=4.0, leak_nj_per_cycle=2.0),
+    dynamic_exponent=0.5,
+    writeback_line_nj=8.0,
+)
+
+#: Energy of one main-memory access; only used as the downstream term of
+#: the L2 tuning metric (an L2 downsizing that thrashes memory must not
+#: look "energy-efficient").
+MEMORY_ACCESS_NJ = 15.0

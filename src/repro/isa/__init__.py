@@ -1,0 +1,69 @@
+"""Mini instruction set and program representation.
+
+The reproduction does not interpret real PowerPC code.  Instead, programs are
+expressed in a small block-structured intermediate representation: a
+:class:`~repro.isa.program.Program` is a set of
+:class:`~repro.isa.program.Method` objects, each a control-flow graph of
+:class:`~repro.isa.program.BasicBlock` nodes.  Blocks carry an aggregate
+execution profile (instruction mix, memory behaviour, terminator semantics)
+that the interpreter in :mod:`repro.vm` replays at block granularity; blocks
+can also carry a concrete instruction listing produced by the builder or the
+assembler, which keeps the representation honest for tooling
+(disassembly, static statistics) without forcing per-instruction
+interpretation.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionMix,
+    Opcode,
+    synthesize_instructions,
+)
+from repro.isa.program import (
+    AlternatingDecider,
+    BasicBlock,
+    CallSite,
+    CondBranch,
+    DataRegion,
+    Goto,
+    LoopDecider,
+    MemoryBehavior,
+    Method,
+    PeriodicDecider,
+    PersistentAlternatingDecider,
+    Program,
+    ProgramValidationError,
+    RandomDecider,
+    Return,
+)
+from repro.isa.builder import MethodBuilder, ProgramBuilder
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disasm import disassemble_method, disassemble_program
+
+__all__ = [
+    "AlternatingDecider",
+    "AssemblyError",
+    "BasicBlock",
+    "CallSite",
+    "CondBranch",
+    "DataRegion",
+    "Goto",
+    "Instruction",
+    "InstructionMix",
+    "LoopDecider",
+    "MemoryBehavior",
+    "Method",
+    "MethodBuilder",
+    "Opcode",
+    "PeriodicDecider",
+    "PersistentAlternatingDecider",
+    "Program",
+    "ProgramBuilder",
+    "ProgramValidationError",
+    "RandomDecider",
+    "Return",
+    "assemble",
+    "disassemble_method",
+    "disassemble_program",
+    "synthesize_instructions",
+]

@@ -1,0 +1,332 @@
+"""Textual assembly format for mini-ISA programs.
+
+The format is line-oriented and block-structured::
+
+    # comment
+    method main {
+        region 0x200000 65536
+        block b0 {
+            insns 12
+            loads 3
+            stores 1
+            mem workingset span=4096 locality=0.8
+            call helper
+            loop trips=10 exit=b1
+        }
+        block b1 {
+            insns 2
+            ret
+        }
+    }
+
+Terminator directives (exactly one per block):
+
+``goto <bid>``
+    unconditional jump.
+``loop trips=<n> exit=<bid> [body=<bid>]``
+    back edge taken ``n - 1`` times, then falls through to ``exit``.
+``branch taken=<bid> fall=<bid> [p=<float>] [alt=<period>]``
+    conditional branch; ``p`` gives a random decider, ``alt`` an
+    alternating one (default ``p=0.5``).
+``ret``
+    method return.
+
+``mem <kind> key=value...`` attaches a memory behaviour; kinds are resolved
+through a registry defaulting to the generators in
+:mod:`repro.workloads.patterns`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.instructions import InstructionMix
+from repro.isa.program import (
+    AlternatingDecider,
+    BasicBlock,
+    CallSite,
+    CondBranch,
+    Goto,
+    LoopDecider,
+    MemoryBehavior,
+    Method,
+    Program,
+    RandomDecider,
+    Return,
+)
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly input; carries the line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+MemoryFactory = Callable[..., MemoryBehavior]
+
+
+def _default_memory_registry() -> Dict[str, MemoryFactory]:
+    # Imported lazily to avoid an isa -> workloads -> isa import cycle.
+    from repro.workloads import patterns
+
+    return {
+        "workingset": patterns.WorkingSetBehavior.from_kwargs,
+        "stride": patterns.StridedBehavior.from_kwargs,
+        "stack": patterns.StackBehavior.from_kwargs,
+        "mixed": patterns.MixedBehavior.from_kwargs,
+    }
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(lineno, f"expected integer, got {token!r}")
+
+
+def _parse_kv(tokens: List[str], lineno: int) -> Dict[str, str]:
+    kv: Dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise AssemblyError(lineno, f"expected key=value, got {token!r}")
+        key, _, value = token.partition("=")
+        kv[key] = value
+    return kv
+
+
+def _coerce(value: str) -> object:
+    """Best-effort conversion of an attribute value: int, float, or str."""
+    try:
+        return int(value, 0)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+class _BlockDraft:
+    def __init__(self, bid: str, lineno: int):
+        self.bid = bid
+        self.lineno = lineno
+        self.insns = 0
+        self.loads = 0
+        self.stores = 0
+        self.memory: Optional[MemoryBehavior] = None
+        self.calls: List[str] = []
+        self.terminator = None
+
+    def finish(self) -> BasicBlock:
+        if self.terminator is None:
+            raise AssemblyError(
+                self.lineno, f"block {self.bid!r} has no terminator"
+            )
+        mix = InstructionMix(
+            total=self.insns, loads=self.loads, stores=self.stores
+        )
+        return BasicBlock(
+            self.bid,
+            mix,
+            self.terminator,
+            memory=self.memory,
+            calls=[CallSite(c) for c in self.calls],
+        )
+
+
+class _Assembler:
+    def __init__(
+        self,
+        text: str,
+        memory_registry: Optional[Dict[str, MemoryFactory]] = None,
+    ):
+        self.lines = text.splitlines()
+        self.registry = memory_registry
+        self.methods: List[Method] = []
+        self.entry: Optional[str] = None
+
+    def _memory_factory(self, kind: str, lineno: int) -> MemoryFactory:
+        if self.registry is None:
+            self.registry = _default_memory_registry()
+        try:
+            return self.registry[kind]
+        except KeyError:
+            raise AssemblyError(
+                lineno,
+                f"unknown memory behaviour {kind!r}; "
+                f"known: {sorted(self.registry)}",
+            )
+
+    def assemble(self) -> Program:
+        i = 0
+        n = len(self.lines)
+        while i < n:
+            tokens, lineno = self._tokens(i)
+            i += 1
+            if not tokens:
+                continue
+            if tokens[0] == "entry":
+                if len(tokens) != 2:
+                    raise AssemblyError(lineno, "usage: entry <method>")
+                self.entry = tokens[1]
+            elif tokens[0] == "method":
+                i = self._method(tokens, lineno, i)
+            else:
+                raise AssemblyError(
+                    lineno, f"unexpected directive {tokens[0]!r}"
+                )
+        if not self.methods:
+            raise AssemblyError(0, "no methods defined")
+        entry = self.entry or self.methods[0].name
+        return Program(self.methods, entry).validated()
+
+    def _tokens(self, index: int) -> Tuple[List[str], int]:
+        line = self.lines[index]
+        code = line.split("#", 1)[0].strip()
+        return code.split(), index + 1
+
+    def _method(self, header: List[str], lineno: int, i: int) -> int:
+        if len(header) != 3 or header[2] != "{":
+            raise AssemblyError(lineno, "usage: method <name> {")
+        name = header[1]
+        region = None
+        entry_bid: Optional[str] = None
+        blocks: List[BasicBlock] = []
+        attributes: Dict[str, object] = {}
+
+        n = len(self.lines)
+        while i < n:
+            tokens, lno = self._tokens(i)
+            i += 1
+            if not tokens:
+                continue
+            head = tokens[0]
+            if head == "}":
+                if not blocks:
+                    raise AssemblyError(lno, f"method {name!r} has no blocks")
+                self.methods.append(
+                    Method(
+                        name,
+                        blocks,
+                        entry_bid or blocks[0].bid,
+                        region=region,
+                        attributes=attributes,
+                    )
+                )
+                return i
+            if head == "region":
+                if len(tokens) != 3:
+                    raise AssemblyError(lno, "usage: region <base> <size>")
+                from repro.isa.program import DataRegion
+
+                region = DataRegion(
+                    _parse_int(tokens[1], lno), _parse_int(tokens[2], lno)
+                )
+            elif head == "entry":
+                if len(tokens) != 2:
+                    raise AssemblyError(lno, "usage: entry <block>")
+                entry_bid = tokens[1]
+            elif head == "attr":
+                if len(tokens) != 3:
+                    raise AssemblyError(lno, "usage: attr <key> <value>")
+                attributes[tokens[1]] = _coerce(tokens[2])
+            elif head == "block":
+                block, i = self._block(tokens, lno, i)
+                blocks.append(block)
+            else:
+                raise AssemblyError(lno, f"unexpected directive {head!r}")
+        raise AssemblyError(lineno, f"method {name!r} not closed with '}}'")
+
+    def _block(
+        self, header: List[str], lineno: int, i: int
+    ) -> Tuple[BasicBlock, int]:
+        if len(header) != 3 or header[2] != "{":
+            raise AssemblyError(lineno, "usage: block <id> {")
+        draft = _BlockDraft(header[1], lineno)
+
+        n = len(self.lines)
+        while i < n:
+            tokens, lno = self._tokens(i)
+            i += 1
+            if not tokens:
+                continue
+            head = tokens[0]
+            if head == "}":
+                return draft.finish(), i
+            if head in ("insns", "loads", "stores"):
+                if len(tokens) != 2:
+                    raise AssemblyError(lno, f"usage: {head} <count>")
+                setattr(draft, head, _parse_int(tokens[1], lno))
+            elif head == "call":
+                if len(tokens) != 2:
+                    raise AssemblyError(lno, "usage: call <method>")
+                draft.calls.append(tokens[1])
+            elif head == "mem":
+                if len(tokens) < 2:
+                    raise AssemblyError(lno, "usage: mem <kind> [k=v ...]")
+                factory = self._memory_factory(tokens[1], lno)
+                kv = {
+                    k: _coerce(v)
+                    for k, v in _parse_kv(tokens[2:], lno).items()
+                }
+                try:
+                    draft.memory = factory(**kv)
+                except (TypeError, ValueError) as exc:
+                    raise AssemblyError(lno, f"bad mem directive: {exc}")
+            elif head == "goto":
+                if len(tokens) != 2:
+                    raise AssemblyError(lno, "usage: goto <block>")
+                self._set_terminator(draft, Goto(tokens[1]), lno)
+            elif head == "ret":
+                self._set_terminator(draft, Return(), lno)
+            elif head == "loop":
+                kv = _parse_kv(tokens[1:], lno)
+                if "trips" not in kv or "exit" not in kv:
+                    raise AssemblyError(
+                        lno, "usage: loop trips=<n> exit=<bid> [body=<bid>]"
+                    )
+                trips = _parse_int(kv["trips"], lno)
+                body = kv.get("body", draft.bid)
+                term = CondBranch(body, kv["exit"], LoopDecider(trips))
+                self._set_terminator(draft, term, lno)
+            elif head == "branch":
+                kv = _parse_kv(tokens[1:], lno)
+                if "taken" not in kv or "fall" not in kv:
+                    raise AssemblyError(
+                        lno,
+                        "usage: branch taken=<bid> fall=<bid> "
+                        "[p=<float>|alt=<period>]",
+                    )
+                if "alt" in kv:
+                    decider = AlternatingDecider(_parse_int(kv["alt"], lno))
+                else:
+                    try:
+                        decider = RandomDecider(float(kv.get("p", 0.5)))
+                    except ValueError as exc:
+                        raise AssemblyError(lno, str(exc))
+                term = CondBranch(kv["taken"], kv["fall"], decider)
+                self._set_terminator(draft, term, lno)
+            else:
+                raise AssemblyError(lno, f"unexpected directive {head!r}")
+        raise AssemblyError(
+            lineno, f"block {draft.bid!r} not closed with '}}'"
+        )
+
+    @staticmethod
+    def _set_terminator(draft: _BlockDraft, term, lineno: int) -> None:
+        if draft.terminator is not None:
+            raise AssemblyError(
+                lineno, f"block {draft.bid!r} already has a terminator"
+            )
+        draft.terminator = term
+
+
+def assemble(
+    text: str,
+    memory_registry: Optional[Dict[str, MemoryFactory]] = None,
+) -> Program:
+    """Assemble source text into a validated, laid-out :class:`Program`."""
+    return _Assembler(text, memory_registry).assemble()

@@ -1,0 +1,185 @@
+"""Fluent builders for programs and methods.
+
+Workload generators construct thousands of blocks; the builders keep that
+terse while guaranteeing structural consistency (every block gets a
+terminator, entry defaults to the first block, programs are validated and
+laid out on ``build``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instructions import InstructionMix
+from repro.isa.program import (
+    BasicBlock,
+    BranchDecider,
+    CallSite,
+    CondBranch,
+    DataRegion,
+    Goto,
+    LoopDecider,
+    MemoryBehavior,
+    Method,
+    Program,
+    ProgramValidationError,
+    Return,
+    TripSource,
+)
+
+
+class MethodBuilder:
+    """Builds one method block by block."""
+
+    def __init__(self, name: str, program: Optional["ProgramBuilder"] = None):
+        self.name = name
+        self._program = program
+        self._blocks: List[BasicBlock] = []
+        self._entry: Optional[str] = None
+        self._region: Optional[DataRegion] = None
+        self._attributes: Dict[str, object] = {}
+
+    # -- method-level configuration ------------------------------------
+
+    def region(self, base: int, size: int) -> "MethodBuilder":
+        """Declare the method's heap working-set region."""
+        self._region = DataRegion(base, size)
+        return self
+
+    def attribute(self, key: str, value: object) -> "MethodBuilder":
+        self._attributes[key] = value
+        return self
+
+    def entry(self, bid: str) -> "MethodBuilder":
+        self._entry = bid
+        return self
+
+    # -- block constructors ---------------------------------------------
+
+    def _add(self, block: BasicBlock) -> "MethodBuilder":
+        self._blocks.append(block)
+        if self._entry is None:
+            self._entry = block.bid
+        return self
+
+    def block(
+        self,
+        bid: str,
+        insns: int,
+        terminator,
+        loads: int = 0,
+        stores: int = 0,
+        memory: Optional[MemoryBehavior] = None,
+        calls: Sequence[str] = (),
+    ) -> "MethodBuilder":
+        """Add a fully explicit block."""
+        mix = InstructionMix(total=insns, loads=loads, stores=stores)
+        sites = [CallSite(c) for c in calls]
+        return self._add(BasicBlock(bid, mix, terminator, memory, sites))
+
+    def straight(
+        self,
+        bid: str,
+        insns: int,
+        next_bid: str,
+        loads: int = 0,
+        stores: int = 0,
+        memory: Optional[MemoryBehavior] = None,
+        calls: Sequence[str] = (),
+    ) -> "MethodBuilder":
+        """Straight-line block falling through to ``next_bid``."""
+        return self.block(
+            bid, insns, Goto(next_bid), loads, stores, memory, calls
+        )
+
+    def loop(
+        self,
+        bid: str,
+        insns: int,
+        trips: TripSource,
+        exit_bid: str,
+        loads: int = 0,
+        stores: int = 0,
+        memory: Optional[MemoryBehavior] = None,
+        calls: Sequence[str] = (),
+        body_bid: Optional[str] = None,
+    ) -> "MethodBuilder":
+        """Self-loop block: repeats ``trips`` times then exits to ``exit_bid``.
+
+        ``body_bid`` lets the back edge target another block (multi-block
+        loop bodies); it defaults to ``bid`` itself.
+        """
+        term = CondBranch(body_bid or bid, exit_bid, LoopDecider(trips))
+        return self.block(bid, insns, term, loads, stores, memory, calls)
+
+    def branch(
+        self,
+        bid: str,
+        insns: int,
+        decider: BranchDecider,
+        taken: str,
+        fallthrough: str,
+        loads: int = 0,
+        stores: int = 0,
+        memory: Optional[MemoryBehavior] = None,
+        calls: Sequence[str] = (),
+    ) -> "MethodBuilder":
+        """General two-way conditional block."""
+        term = CondBranch(taken, fallthrough, decider)
+        return self.block(bid, insns, term, loads, stores, memory, calls)
+
+    def ret(
+        self,
+        bid: str,
+        insns: int = 1,
+        loads: int = 0,
+        stores: int = 0,
+        memory: Optional[MemoryBehavior] = None,
+        calls: Sequence[str] = (),
+    ) -> "MethodBuilder":
+        """Returning block."""
+        return self.block(bid, insns, Return(), loads, stores, memory, calls)
+
+    # -- finalization ----------------------------------------------------
+
+    def build(self) -> Method:
+        if not self._blocks:
+            raise ProgramValidationError(
+                f"method {self.name!r} has no blocks"
+            )
+        assert self._entry is not None
+        return Method(
+            self.name,
+            self._blocks,
+            self._entry,
+            region=self._region,
+            attributes=self._attributes,
+        )
+
+    def done(self) -> "ProgramBuilder":
+        """Finish this method and return to the enclosing program builder."""
+        if self._program is None:
+            raise RuntimeError(
+                "done() requires the builder to be created via "
+                "ProgramBuilder.method()"
+            )
+        self._program.add(self.build())
+        return self._program
+
+
+class ProgramBuilder:
+    """Builds a whole program; ``build`` validates and lays it out."""
+
+    def __init__(self, entry: str = "main"):
+        self._entry = entry
+        self._methods: List[Method] = []
+
+    def method(self, name: str) -> MethodBuilder:
+        return MethodBuilder(name, program=self)
+
+    def add(self, method: Method) -> "ProgramBuilder":
+        self._methods.append(method)
+        return self
+
+    def build(self, base: int = Program.CODE_BASE) -> Program:
+        return Program(self._methods, self._entry).validated(base)

@@ -1,0 +1,99 @@
+"""Disassembly / pretty-printing of mini-ISA programs.
+
+Round-trips the structural subset of the assembly format: the emitted text
+re-assembles to a program with identical block structure and instruction
+mixes (memory behaviours print as comments since they may be arbitrary
+objects).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import (
+    AlternatingDecider,
+    CondBranch,
+    Goto,
+    LoopDecider,
+    Method,
+    Program,
+    RandomDecider,
+    Return,
+)
+
+
+def _terminator_text(block) -> str:
+    term = block.terminator
+    if isinstance(term, Goto):
+        return f"goto {term.target}"
+    if isinstance(term, Return):
+        return "ret"
+    if isinstance(term, CondBranch):
+        decider = term.decider
+        if isinstance(decider, LoopDecider) and isinstance(decider.trips, int):
+            if term.taken == block.bid:
+                return f"loop trips={decider.trips} exit={term.fallthrough}"
+            return (
+                f"loop trips={decider.trips} exit={term.fallthrough} "
+                f"body={term.taken}"
+            )
+        if isinstance(decider, AlternatingDecider):
+            return (
+                f"branch taken={term.taken} fall={term.fallthrough} "
+                f"alt={decider.period}"
+            )
+        if isinstance(decider, RandomDecider):
+            return (
+                f"branch taken={term.taken} fall={term.fallthrough} "
+                f"p={decider.p_taken}"
+            )
+        return (
+            f"branch taken={term.taken} fall={term.fallthrough} "
+            f"p=0.5  # decider: {decider!r}"
+        )
+    raise TypeError(f"unknown terminator {term!r}")
+
+
+def disassemble_method(method: Method, listing: bool = False) -> str:
+    """Render one method as assembly text.
+
+    With ``listing=True``, the synthesized concrete instruction listing of
+    each block is included as comments.
+    """
+    lines: List[str] = [f"method {method.name} {{"]
+    if method.region is not None:
+        lines.append(
+            f"    region {method.region.base:#x} {method.region.size}"
+        )
+    if method.entry != next(iter(method.blocks)):
+        lines.append(f"    entry {method.entry}")
+    for key, value in sorted(method.attributes.items()):
+        lines.append(f"    attr {key} {value}")
+    for block in method.blocks.values():
+        lines.append(f"    block {block.bid} {{")
+        lines.append(f"        insns {block.mix.total}")
+        if block.mix.loads:
+            lines.append(f"        loads {block.mix.loads}")
+        if block.mix.stores:
+            lines.append(f"        stores {block.mix.stores}")
+        if block.memory is not None:
+            lines.append(f"        # mem {block.memory!r}")
+        for site in block.calls:
+            lines.append(f"        call {site.callee}")
+        lines.append(f"        {_terminator_text(block)}")
+        if listing:
+            for instr in block.instructions():
+                lines.append(f"        # {instr}")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program, listing: bool = False) -> str:
+    """Render a whole program as assembly text."""
+    parts = [f"entry {program.entry}", ""]
+    parts.extend(
+        disassemble_method(m, listing=listing)
+        for m in program.methods.values()
+    )
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,50 @@
+"""Temporal phase detection baseline: Basic Block Vectors.
+
+Implements the comparison scheme of paper §4.1/§5.2 — BBV phase tracking
+(Sherwood et al., ISCA'03) driving the exhaustive multi-configuration
+tuning algorithm of Dhodapkar & Smith (ISCA'02):
+
+* fixed sampling intervals (the L2 reconfiguration interval — the slowest
+  CU sets the pace, §2.3/§3.2.1);
+* a bucketed basic-block-vector accumulator with 24-bit saturating
+  counters, harvested and classified each interval by Manhattan distance;
+* stable-phase filtering (two or more consecutive same-phase intervals);
+* per-phase memoisation of tuning progress and the chosen configuration
+  (recurring phases resume tuning or reuse their configuration), but *no*
+  next-phase predictor — exactly the implementation the paper compares
+  against.
+"""
+
+from repro.phases.bbv import BBVAccumulator, BBVector, manhattan_distance
+from repro.phases.classifier import PhaseClassifier, PhaseOccurrenceStats
+from repro.phases.tuner import PhaseTuningEntry
+from repro.phases.policy import BBVACEPolicy, BBVPolicyStats
+from repro.phases.positional import (
+    LargeProcedureClassifier,
+    PositionalACEPolicy,
+)
+from repro.phases.prediction import NextPhasePredictor
+from repro.phases.working_set import (
+    WorkingSetAccumulator,
+    WorkingSetClassifier,
+    make_working_set_policy,
+    relative_signature_distance,
+)
+
+__all__ = [
+    "BBVACEPolicy",
+    "BBVAccumulator",
+    "BBVPolicyStats",
+    "BBVector",
+    "LargeProcedureClassifier",
+    "NextPhasePredictor",
+    "PhaseClassifier",
+    "PhaseOccurrenceStats",
+    "PhaseTuningEntry",
+    "PositionalACEPolicy",
+    "WorkingSetAccumulator",
+    "WorkingSetClassifier",
+    "make_working_set_policy",
+    "manhattan_distance",
+    "relative_signature_distance",
+]

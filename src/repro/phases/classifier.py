@@ -1,0 +1,194 @@
+"""Phase classification over harvested BBVs.
+
+Each interval's normalized vector is compared (Manhattan distance) against
+the stored signature of every known phase; within threshold → that phase
+(signature updated by EWMA), otherwise a new phase is allocated — the paper
+grants its BBV implementation "unlimited uncompressed signatures".
+
+Stability follows Figure 1's criterion: a phase *occurrence* (a maximal run
+of consecutive same-phase intervals) is stable iff it spans two or more
+intervals; single-interval occurrences are transitional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.phases.bbv import BBVector, manhattan_distance, normalize
+
+
+@dataclass
+class PhaseOccurrenceStats:
+    """Stable/transitional interval accounting (Figure 1)."""
+
+    stable_intervals: int = 0
+    transitional_intervals: int = 0
+    occurrences: int = 0
+    stable_occurrences: int = 0
+
+    @property
+    def total_intervals(self) -> int:
+        return self.stable_intervals + self.transitional_intervals
+
+    @property
+    def stable_fraction(self) -> float:
+        total = self.total_intervals
+        return self.stable_intervals / total if total else 0.0
+
+
+class _Phase:
+    __slots__ = ("pid", "signature", "intervals", "ipc_sum", "ipc_sumsq",
+                 "ipc_n")
+
+    def __init__(self, pid: int, signature: Tuple[float, ...]):
+        self.pid = pid
+        self.signature = signature
+        self.intervals = 0
+        self.ipc_sum = 0.0
+        self.ipc_sumsq = 0.0
+        self.ipc_n = 0
+
+    def note_ipc(self, ipc: float) -> None:
+        self.ipc_n += 1
+        self.ipc_sum += ipc
+        self.ipc_sumsq += ipc * ipc
+
+    @property
+    def mean_ipc(self) -> float:
+        return self.ipc_sum / self.ipc_n if self.ipc_n else 0.0
+
+    @property
+    def ipc_cov(self) -> Optional[float]:
+        if self.ipc_n < 2 or self.ipc_sum <= 0:
+            return None
+        mean = self.ipc_sum / self.ipc_n
+        variance = max(0.0, self.ipc_sumsq / self.ipc_n - mean * mean)
+        return (variance ** 0.5) / mean if mean > 0 else None
+
+
+class PhaseClassifier:
+    """Signature table + consecutive-run stability tracking."""
+
+    #: EWMA weight for signature refresh on re-classification.
+    SIGNATURE_ALPHA = 0.25
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.35,
+        stable_min_intervals: int = 2,
+    ):
+        if similarity_threshold <= 0:
+            raise ValueError("similarity_threshold must be positive")
+        if stable_min_intervals < 1:
+            raise ValueError("stable_min_intervals must be >= 1")
+        self.similarity_threshold = similarity_threshold
+        self.stable_min_intervals = stable_min_intervals
+        self.phases: Dict[int, _Phase] = {}
+        self.occurrence_stats = PhaseOccurrenceStats()
+        self._next_pid = 0
+        self._current_pid: Optional[int] = None
+        self._run_length = 0
+        self.classifications = 0
+        self.phase_history: List[int] = []
+
+    # -- matching hooks (overridden by alternative detectors) -------------
+
+    def _prepare(self, vector):
+        """Convert a harvested raw vector into the stored representation."""
+        return normalize(vector)
+
+    def _distance(self, prepared, signature) -> float:
+        return manhattan_distance(prepared, signature)
+
+    def _merge(self, signature, prepared):
+        """Refresh a matched phase's stored signature."""
+        alpha = self.SIGNATURE_ALPHA
+        return tuple(
+            (1 - alpha) * s + alpha * v
+            for s, v in zip(signature, prepared)
+        )
+
+    # -- classification -----------------------------------------------------
+
+    def classify(self, vector: BBVector) -> Tuple[int, bool, int]:
+        """Classify one harvested interval vector.
+
+        Returns ``(phase_id, is_new_phase, run_length)`` where
+        ``run_length`` counts consecutive intervals (including this one)
+        classified as ``phase_id``.
+        """
+        prepared = self._prepare(vector)
+        best_pid = None
+        best_distance = None
+        for phase in self.phases.values():
+            distance = self._distance(prepared, phase.signature)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_pid = phase.pid
+        is_new = (
+            best_pid is None or best_distance > self.similarity_threshold
+        )
+        if is_new:
+            pid = self._next_pid
+            self._next_pid += 1
+            self.phases[pid] = _Phase(pid, prepared)
+        else:
+            pid = best_pid
+            phase = self.phases[pid]
+            phase.signature = self._merge(phase.signature, prepared)
+        self.phases[pid].intervals += 1
+        self.classifications += 1
+        self.phase_history.append(pid)
+
+        if pid == self._current_pid:
+            self._run_length += 1
+        else:
+            self._close_run()
+            self._current_pid = pid
+            self._run_length = 1
+        return pid, is_new, self._run_length
+
+    def _close_run(self) -> None:
+        if self._current_pid is None or self._run_length == 0:
+            return
+        stats = self.occurrence_stats
+        stats.occurrences += 1
+        if self._run_length >= self.stable_min_intervals:
+            stats.stable_occurrences += 1
+            stats.stable_intervals += self._run_length
+        else:
+            stats.transitional_intervals += self._run_length
+
+    def flush(self) -> None:
+        """Close the final run at end of execution."""
+        self._close_run()
+        self._current_pid = None
+        self._run_length = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def note_interval_ipc(self, pid: int, ipc: float) -> None:
+        self.phases[pid].note_ipc(ipc)
+
+    def per_phase_ipc_cov(self) -> float:
+        """Mean of per-phase interval-IPC CoVs (Table 5)."""
+        covs = [
+            p.ipc_cov for p in self.phases.values() if p.ipc_cov is not None
+        ]
+        return sum(covs) / len(covs) if covs else 0.0
+
+    def inter_phase_ipc_cov(self) -> float:
+        """CoV of per-phase mean IPCs (Table 5)."""
+        means = [p.mean_ipc for p in self.phases.values() if p.ipc_n > 0]
+        if len(means) < 2:
+            return 0.0
+        mean = sum(means) / len(means)
+        if mean <= 0:
+            return 0.0
+        variance = sum((m - mean) ** 2 for m in means) / len(means)
+        return (variance ** 0.5) / mean

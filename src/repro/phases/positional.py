@@ -1,0 +1,92 @@
+"""The original positional approach (Huang et al. [14], paper §2.2/§3.5).
+
+The positional approach adapts hardware at code positions rather than
+sampling intervals — but, unlike the paper's framework, it only
+instruments *large procedures* ("since it is hard to find procedure calls
+that start new phases by hardware at runtime, the positional approach
+simply adapts at boundaries of large procedures") and tunes the full
+combinatorial configuration list per procedure (no CU decoupling — that
+is the paper's contribution).
+
+The paper's §3.5 critique, which this implementation lets the benches
+quantify:
+
+* large procedures are invoked far less often than hotspots, so their
+  best configurations get applied fewer times per tuning investment;
+* fine-grain phases *inside* a large procedure cannot be adapted to;
+* hierarchical phase behaviour needs "significant effort" — here, simply,
+  nothing nested inside a managed procedure is managed.
+
+Implementation: the DO machinery (invocation counting, entry/exit stubs)
+is reused — the positional approach is, after all, a positional scheme —
+but the classifier assigns the *full CU set* to procedures above a single
+size threshold and nothing to anything smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.cu_assignment import SizeClassifier
+from repro.core.policy import HotspotACEPolicy
+from repro.core.tuning import TuningConfig
+
+
+class LargeProcedureClassifier(SizeClassifier):
+    """All CUs at procedures above ``min_size``; nothing below.
+
+    ``min_size`` defaults to the largest CU's reconfiguration interval —
+    the natural "large enough to amortise any reconfiguration" bound.
+    """
+
+    def __init__(
+        self, intervals: Dict[str, int], min_size: Optional[int] = None
+    ):
+        super().__init__(intervals)
+        self.min_size = (
+            min_size if min_size is not None else max(intervals.values())
+        )
+
+    def cus_for_size(self, size: float) -> Tuple[str, ...]:
+        if size >= self.min_size:
+            return tuple(self.intervals)
+        return ()
+
+    def classify_kind(self, size: float) -> str:
+        return "procedure" if size >= self.min_size else "unmanaged"
+
+    @classmethod
+    def from_machine(cls, machine, min_size: Optional[int] = None):
+        return cls(
+            {
+                name: cu.reconfiguration_interval
+                for name, cu in machine.cus.items()
+            },
+            min_size=min_size,
+        )
+
+
+class PositionalACEPolicy(HotspotACEPolicy):
+    """Adaptation at large-procedure boundaries, combinatorial tuning."""
+
+    name = "positional"
+
+    def __init__(
+        self,
+        tuning: Optional[TuningConfig] = None,
+        min_procedure_size: Optional[int] = None,
+        enable_retuning: bool = True,
+    ):
+        super().__init__(
+            tuning=tuning,
+            classifier=None,  # built at attach, needs the machine
+            decoupling=False,  # full combinatorial list per procedure
+            enable_retuning=enable_retuning,
+        )
+        self._min_procedure_size = min_procedure_size
+
+    def attach(self, vm) -> None:
+        self._classifier = LargeProcedureClassifier.from_machine(
+            vm.machine, min_size=self._min_procedure_size
+        )
+        super().attach(vm)

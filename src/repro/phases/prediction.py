@@ -1,0 +1,83 @@
+"""Next-phase prediction for the temporal baseline ([20], [24]).
+
+The paper deliberately runs its BBV baseline *without* a next-phase
+predictor and notes the trade-off (§3.5): prediction can recover the
+recurring-phase identification latency, but "incorrect predictions cause
+unnecessary or wrong adaptations and subsequent rollbacks of hardware
+configurations".  This module implements the standard first-order Markov
+predictor over phase ids so the trade-off can be measured
+(``benchmarks/bench_ablation_next_phase.py``).
+
+The predictor learns transition counts phase->phase.  A prediction is
+offered only when its empirical confidence clears a threshold, mirroring
+the confidence-counter predictors of Sherwood et al.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class NextPhasePredictor:
+    """First-order Markov next-phase predictor with confidence gating."""
+
+    def __init__(self, confidence: float = 0.6, min_samples: int = 3):
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1], got {confidence}"
+            )
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1: {min_samples}")
+        self.confidence = confidence
+        self.min_samples = min_samples
+        self._transitions: Dict[int, Dict[int, int]] = {}
+        self._last_pid: Optional[int] = None
+        self.predictions = 0
+        self.correct = 0
+        self._pending_prediction: Optional[int] = None
+
+    # -- learning ----------------------------------------------------------
+
+    def observe(self, pid: int) -> None:
+        """Record the phase of the interval that just ended."""
+        if self._pending_prediction is not None:
+            self.predictions += 1
+            if self._pending_prediction == pid:
+                self.correct += 1
+            self._pending_prediction = None
+        if self._last_pid is not None:
+            row = self._transitions.setdefault(self._last_pid, {})
+            row[pid] = row.get(pid, 0) + 1
+        self._last_pid = pid
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_next(self) -> Optional[int]:
+        """Predicted phase of the *coming* interval, or None if unsure.
+
+        Calling this arms accuracy tracking: the next ``observe`` scores
+        the prediction.
+        """
+        if self._last_pid is None:
+            return None
+        row = self._transitions.get(self._last_pid)
+        if not row:
+            return None
+        total = sum(row.values())
+        if total < self.min_samples:
+            return None
+        best_pid, best_count = max(row.items(), key=lambda kv: kv[1])
+        if best_count / total < self.confidence:
+            return None
+        self._pending_prediction = best_pid
+        return best_pid
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"NextPhasePredictor(predictions={self.predictions}, "
+            f"accuracy={self.accuracy:.2f})"
+        )

@@ -1,0 +1,192 @@
+"""Per-phase tuning entries for the BBV baseline.
+
+The tuning algorithm is Dhodapkar & Smith's: when a phase is (re)entered
+and stable, successive sampling intervals test successive entries of the
+full combinatorial configuration list — *all* of them, there is no
+early-exit (paper Table 1 charges temporal approaches with "all
+configurations are tested").  A phase's BBV information and tuning results
+are stored, so "a recurring phase can use its chosen configuration if
+available, or resume its tuning from the last tested configuration"
+(paper §4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.tuning import (
+    TuningOutcome,
+    choose_best_robust,
+    median_ipc,
+    verification_says_demote,
+)
+
+Config = Tuple[int, ...]
+
+
+def combinatorial_config_list(setting_counts: Sequence[int]) -> List[Config]:
+    """The full cartesian product, all-maximum configuration first."""
+    return list(itertools.product(*(range(n) for n in setting_counts)))
+
+
+class PhaseTuningEntry:
+    """Tuning record of one BBV phase."""
+
+    __slots__ = (
+        "pid",
+        "cu_names",
+        "config_list",
+        "next_index",
+        "outcomes",
+        "best",
+        "reference_ipc",
+        "unimpaired_ipc",
+        "recent_ipc",
+        "intervals_tuned_under_best",
+        "demotions",
+        "verify_pending",
+        "verify_stage",
+        "verify_samples",
+        "verify_passes",
+    )
+
+    def __init__(
+        self, pid: int, cu_names: Tuple[str, ...], setting_counts: Sequence[int]
+    ):
+        self.pid = pid
+        self.cu_names = cu_names
+        self.config_list = combinatorial_config_list(setting_counts)
+        self.next_index = 0
+        self.outcomes: List[TuningOutcome] = []
+        self.best: Optional[TuningOutcome] = None
+        self.reference_ipc: Optional[float] = None
+        self.unimpaired_ipc: Optional[float] = None
+        self.recent_ipc: Optional[float] = None
+        self.intervals_tuned_under_best = 0
+        self.demotions = 0
+        self.verify_pending = False
+        self.verify_stage: Optional[str] = None
+        self.verify_samples = {}
+        self.verify_passes = 0
+
+    @property
+    def tuned(self) -> bool:
+        return self.best is not None
+
+    @property
+    def current_trial(self) -> Optional[Config]:
+        """Next configuration to test, or None when tuning is complete."""
+        if self.tuned or self.next_index >= len(self.config_list):
+            return None
+        return self.config_list[self.next_index]
+
+    def record(
+        self,
+        outcome: TuningOutcome,
+        performance_threshold: float,
+        objective: str = "energy",
+    ) -> bool:
+        """Record one interval measurement; returns True on completion."""
+        if self.tuned:
+            raise RuntimeError(f"phase {self.pid}: already tuned")
+        self.outcomes.append(outcome)
+        if self.reference_ipc is None:
+            self.reference_ipc = outcome.ipc
+        self.next_index += 1
+        if self.next_index >= len(self.config_list):
+            self.best = choose_best_robust(
+                self.outcomes, performance_threshold, objective
+            )
+            self.unimpaired_ipc = median_ipc(self.outcomes)
+            if self.best is not None:
+                self.begin_verification()
+            return True
+        return False
+
+    # -- steady-state feedback (sampling side) ---------------------------
+
+    def observe_best_interval(self, ipc: float, alpha: float = 0.3) -> None:
+        """EWMA of interval IPC while running under the chosen best."""
+        if self.recent_ipc is None:
+            self.recent_ipc = ipc
+        else:
+            self.recent_ipc += alpha * (ipc - self.recent_ipc)
+
+    # -- post-selection A/B verification ----------------------------------
+    # Same rationale as HotspotTuningState: a single noisy interval can
+    # mis-rank configurations, so the chosen one is double-checked against
+    # the all-maximum configuration contemporaneously and stepped back a
+    # notch whenever it loses by more than the threshold.
+
+    def begin_verification(self) -> None:
+        self.verify_pending = True
+        self.verify_stage = "chosen"
+        self.verify_samples = {"chosen": [], "max": []}
+
+    def verification_target(self) -> Config:
+        assert self.best is not None
+        if self.verify_stage == "max":
+            return tuple(0 for _ in self.best.config)
+        return self.best.config
+
+    def record_verification(
+        self,
+        ipc: float,
+        samples_per_stage: int,
+        performance_threshold: float,
+    ) -> str:
+        """Feed one measured verification interval; see
+        :meth:`repro.core.tuning.HotspotTuningState.record_verification`."""
+        if not self.verify_pending:
+            return "verified"
+        if all(i == 0 for i in self.best.config):
+            self.verify_passes = 99
+            self.verify_pending = False
+            self.verify_stage = None
+            return "verified"
+        self.verify_samples[self.verify_stage].append(ipc)
+        if len(self.verify_samples[self.verify_stage]) < samples_per_stage:
+            return "continue"
+        if self.verify_stage == "chosen":
+            self.verify_stage = "max"
+            return "continue"
+        if verification_says_demote(
+            self.verify_samples["chosen"],
+            self.verify_samples["max"],
+            performance_threshold,
+        ):
+            self.demote()
+            self.verify_passes = 0
+            self.begin_verification()
+            return "demoted"
+        self.verify_passes += 1
+        self.verify_pending = False
+        self.verify_stage = None
+        return "verified"
+
+    def demote(self) -> bool:
+        """Step the memoised best one notch toward larger settings."""
+        if self.best is None:
+            return False
+        config = list(self.best.config)
+        position = max(range(len(config)), key=lambda i: config[i])
+        if config[position] == 0:
+            return False
+        config[position] -= 1
+        self.best = TuningOutcome(
+            tuple(config),
+            self.best.ipc,
+            self.best.energy_per_insn,
+            self.best.instructions,
+        )
+        self.demotions += 1
+        self.recent_ipc = None
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseTuningEntry(pid={self.pid}, "
+            f"trials={len(self.outcomes)}/{len(self.config_list)}, "
+            f"best={self.best and self.best.config})"
+        )

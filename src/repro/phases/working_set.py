@@ -1,0 +1,119 @@
+"""Working-set-signature phase detection (Dhodapkar & Smith [9]).
+
+The paper's §2.2 lists "instruction working sets" among the temporal
+phase-detection signals, and its tuning algorithm *is* Dhodapkar &
+Smith's.  This module supplies their detector as a drop-in alternative to
+the BBV accumulator/classifier pair, so the two temporal detectors can be
+compared under the same tuning machinery (the comparison performed by
+[10], which found BBV the stronger signal — a finding the detector bench
+can check at this scale).
+
+A working-set signature is a bit vector: each executed code block sets
+the bit its (granularity-truncated) address hashes to.  Two intervals
+belong to the same phase when the *relative signature distance*
+|A xor B| / |A or B| is below a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.phases.classifier import PhaseClassifier
+
+
+def relative_signature_distance(a: int, b: int) -> float:
+    """|A xor B| / |A or B| over bit-set signatures (0.0 for two empties)."""
+    union = a | b
+    if union == 0:
+        return 0.0
+    return bin(a ^ b).count("1") / bin(union).count("1")
+
+
+class WorkingSetAccumulator:
+    """Per-interval working-set signature builder.
+
+    Duck-types :class:`repro.phases.bbv.BBVAccumulator`'s interface
+    (``observe(block_pc, n_insns)`` / ``harvest()``) so the BBV policy can
+    host either detector.  ``granularity_shift`` truncates addresses to
+    working-set chunks (Dhodapkar & Smith use cache-line-to-page sized
+    chunks); ``n_bits`` is the signature width.
+    """
+
+    def __init__(self, n_bits: int = 128, granularity_shift: int = 6):
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive: {n_bits}")
+        if granularity_shift < 0:
+            raise ValueError(
+                f"granularity_shift must be >= 0: {granularity_shift}"
+            )
+        self.n_bits = n_bits
+        self.granularity_shift = granularity_shift
+        self._signature = 0
+
+    def observe(self, block_pc: int, n_insns: int) -> None:
+        chunk = block_pc >> self.granularity_shift
+        # Knuth multiplicative hash; take *high* product bits — the low
+        # bits of chunk*odd are just a permutation of chunk's low bits,
+        # which collide for page-aligned chunks.
+        bit = ((chunk * 2654435761) >> 13) % self.n_bits
+        self._signature |= 1 << bit
+
+    def harvest(self) -> int:
+        signature = self._signature
+        self._signature = 0
+        return signature
+
+    def peek(self) -> int:
+        return self._signature
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkingSetAccumulator(bits={self.n_bits}, "
+            f"set={bin(self._signature).count('1')})"
+        )
+
+
+class WorkingSetClassifier(PhaseClassifier):
+    """Phase table keyed on working-set signatures.
+
+    Matching replaces the stored signature with the latest one (working
+    sets drift; Dhodapkar & Smith track the current set, not an average).
+    """
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.5,
+        stable_min_intervals: int = 2,
+    ):
+        super().__init__(similarity_threshold, stable_min_intervals)
+
+    def _prepare(self, vector: int) -> int:
+        return vector
+
+    def _distance(self, prepared: int, signature: int) -> float:
+        return relative_signature_distance(prepared, signature)
+
+    def _merge(self, signature: int, prepared: int) -> int:
+        return prepared
+
+
+def make_working_set_policy(
+    tuning=None,
+    n_bits: int = 128,
+    granularity_shift: int = 6,
+    similarity_threshold: float = 0.5,
+    sampling_interval: Optional[int] = None,
+):
+    """A BBV-style temporal policy running on working-set signatures."""
+    from repro.phases.policy import BBVACEPolicy
+
+    policy = BBVACEPolicy(
+        tuning=tuning, sampling_interval=sampling_interval
+    )
+    policy.name = "working-set"
+    policy.accumulator = WorkingSetAccumulator(n_bits, granularity_shift)
+    policy.classifier = WorkingSetClassifier(
+        similarity_threshold=similarity_threshold,
+        stable_min_intervals=policy.bbv.stable_min_intervals,
+    )
+    return policy

@@ -1,0 +1,70 @@
+"""Plain-text bar charts for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+BAR_WIDTH = 46
+
+
+def _bar(value: float, max_value: float, width: int = BAR_WIDTH) -> str:
+    if max_value <= 0:
+        return ""
+    n = int(round(width * max(0.0, value) / max_value))
+    return "#" * n
+
+
+def render_bar_chart(
+    values: Dict[str, float],
+    title: Optional[str] = None,
+    unit: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """One bar per key; values are fractions by default (scale=100 -> %)."""
+    if not values:
+        return title or ""
+    label_w = max(len(k) for k in values)
+    max_value = max(max(values.values()), 1e-9)
+    out: List[str] = [title] if title else []
+    for key, value in values.items():
+        out.append(
+            f"{key.ljust(label_w)} | "
+            f"{_bar(value, max_value)} {value * scale:.1f}{unit}"
+        )
+    return "\n".join(out)
+
+
+def render_grouped_bars(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    unit: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """Grouped bars: for each group, one bar per series (the paper's
+    BBV-vs-hotspot figures).
+
+    ``series`` maps series name -> per-group values (same length as
+    ``groups``).
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    label_w = max(
+        [len(g) for g in groups] + [len(s) for s in series], default=1
+    )
+    flat = [v for values in series.values() for v in values]
+    max_value = max(max(flat, default=0.0), 1e-9)
+    out: List[str] = [title] if title else []
+    for gi, group in enumerate(groups):
+        out.append(f"{group}:")
+        for name, values in series.items():
+            value = values[gi]
+            out.append(
+                f"  {name.ljust(label_w)} | "
+                f"{_bar(value, max_value)} {value * scale:.1f}{unit}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,148 @@
+"""Markdown rendering of exhibits.
+
+EXPERIMENTS.md carries paper-vs-measured tables in GitHub-flavoured
+Markdown; these helpers let `tools/regenerate_experiments.py` emit
+refreshed measured sections in the same format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.report.exhibits import ExhibitResult
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A GitHub-flavoured Markdown table."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def per_benchmark_exhibit_to_markdown(
+    exhibit: ExhibitResult,
+    percent_rows: bool = False,
+) -> str:
+    """Render an exhibit whose ``data`` maps row-label -> {benchmark: value}.
+
+    Works for table4/table6-shaped data; nested exhibits (table5, figure3)
+    have dedicated helpers below.
+    """
+    labels = list(exhibit.data)
+    sample = exhibit.data[labels[0]]
+    if not isinstance(sample, dict):
+        raise ValueError(
+            f"exhibit {exhibit.exhibit!r} is not per-benchmark shaped"
+        )
+    benchmarks = list(sample)
+    rows = []
+    for label in labels:
+        values = exhibit.data[label]
+        if not isinstance(values, dict):
+            continue
+        row = [label]
+        for name in benchmarks:
+            value = values.get(name, "")
+            if percent_rows and isinstance(value, float):
+                value = f"{value:.1%}"
+            row.append(value)
+        rows.append(row)
+    return render_markdown_table(
+        ["", *benchmarks], rows, title=exhibit.exhibit
+    )
+
+
+def figure3_to_markdown(exhibit: ExhibitResult) -> str:
+    """The Figure 3 comparison as one Markdown table."""
+    l1d = exhibit.data["L1D"]
+    l2 = exhibit.data["L2"]
+    benchmarks = list(l1d["bbv"])
+    rows = []
+    for name in benchmarks:
+        rows.append(
+            [
+                name,
+                f"{l1d['bbv'][name]:.1%}",
+                f"{l1d['hotspot'][name]:.1%}",
+                f"{l2['bbv'][name]:.1%}",
+                f"{l2['hotspot'][name]:.1%}",
+            ]
+        )
+    return render_markdown_table(
+        ["benchmark", "L1D BBV", "L1D hotspot", "L2 BBV", "L2 hotspot"],
+        rows,
+        title="Figure 3 — cache energy reduction",
+    )
+
+
+def figure4_to_markdown(exhibit: ExhibitResult) -> str:
+    benchmarks = list(exhibit.data["bbv"])
+    rows = [
+        [
+            name,
+            f"{exhibit.data['bbv'][name]:.1%}",
+            f"{exhibit.data['hotspot'][name]:.1%}",
+        ]
+        for name in benchmarks
+    ]
+    return render_markdown_table(
+        ["benchmark", "BBV", "hotspot"],
+        rows,
+        title="Figure 4 — performance degradation",
+    )
+
+
+def headline_to_markdown(
+    figure3_exhibit: ExhibitResult, figure4_exhibit: ExhibitResult
+) -> str:
+    """The EXPERIMENTS.md headline table, from fresh measurements."""
+    l1d = figure3_exhibit.data["L1D"]
+    l2 = figure3_exhibit.data["L2"]
+    f4 = figure4_exhibit.data
+    rows = [
+        [
+            "L1D energy reduction (avg)", "32%", "47%",
+            f"{l1d['bbv']['avg']:.1%}", f"{l1d['hotspot']['avg']:.1%}",
+        ],
+        [
+            "L2 energy reduction (avg)", "52%", "58%",
+            f"{l2['bbv']['avg']:.1%}", f"{l2['hotspot']['avg']:.1%}",
+        ],
+        [
+            "slowdown (avg)", "1.87%", "1.56%",
+            f"{f4['bbv']['avg']:.1%}", f"{f4['hotspot']['avg']:.1%}",
+        ],
+    ]
+    return render_markdown_table(
+        ["metric", "paper BBV", "paper hotspot", "measured BBV",
+         "measured hotspot"],
+        rows,
+        title="Headline comparison",
+    )

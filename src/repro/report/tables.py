@@ -1,0 +1,70 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align_left_first: bool = True,
+) -> str:
+    """Render a boxed ASCII table.
+
+    The first column is left-aligned (labels), the rest right-aligned
+    (numbers), matching the paper's table layout.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0 and align_left_first:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(rule)
+    out.append(line(list(headers)))
+    out.append(rule)
+    out.extend(line(row) for row in cells)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_kv_table(
+    pairs: Dict[str, object], title: Optional[str] = None
+) -> str:
+    """Two-column key/value table (used for Table 2's configuration)."""
+    return render_table(
+        ["parameter", "value"],
+        [[k, v] for k, v in pairs.items()],
+        title=title,
+    )

@@ -1,0 +1,22 @@
+"""Global scaling constants shared by configuration and workloads.
+
+This is a leaf module (no repro-internal imports) so that both
+:mod:`repro.sim.config` and :mod:`repro.workloads` can use the constants
+without creating import cycles.  See DESIGN.md §2 for the scaling
+rationale.
+"""
+
+#: Divisor applied to every interval-like constant of the paper
+#: (reconfiguration intervals, BBV sampling interval, hotspot size bands):
+#: the paper's runs are ~10^10 instructions, the reproduction's a few
+#: million, and all of the paper's results depend on interval *ratios*.
+DEFAULT_INTERVAL_SCALE = 0.01
+
+#: Divisor applied to cache capacities and workload working sets.  The
+#: refill cost after a reconfiguration is proportional to cache *content*,
+#: which does not shrink with intervals — without this, one resize would
+#: stall for several scaled intervals (vs. ~1 % of an interval in the
+#: paper).  Scaling structures and working sets together preserves all
+#: miss-rate-vs-size relationships while restoring the paper's
+#: overhead-to-interval ratio.
+STRUCTURE_SCALE = 8

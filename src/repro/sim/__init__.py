@@ -1,0 +1,61 @@
+"""Simulation driver: configuration, single runs, experiments, metrics.
+
+``driver`` and ``experiment`` are imported lazily (PEP 562): they depend on
+the policy packages, which themselves import :mod:`repro.sim.config`, and
+eager imports here would close an import cycle.
+"""
+
+from repro.sim.config import (
+    BBVConfig,
+    CacheConfig,
+    ExperimentConfig,
+    MachineConfig,
+    ScaledParameters,
+    TuningConfig,
+    build_machine,
+)
+from repro.sim.metrics import (
+    coefficient_of_variation,
+    mean,
+    population_std,
+)
+
+__all__ = [
+    "BBVConfig",
+    "BenchmarkComparison",
+    "CacheConfig",
+    "ExperimentConfig",
+    "MachineConfig",
+    "RunResult",
+    "ScaledParameters",
+    "SuiteResults",
+    "TuningConfig",
+    "build_machine",
+    "coefficient_of_variation",
+    "compare_schemes",
+    "mean",
+    "population_std",
+    "run_benchmark",
+    "run_suite",
+]
+
+_LAZY = {
+    "RunResult": ("repro.sim.driver", "RunResult"),
+    "run_benchmark": ("repro.sim.driver", "run_benchmark"),
+    "BenchmarkComparison": ("repro.sim.experiment", "BenchmarkComparison"),
+    "SuiteResults": ("repro.sim.experiment", "SuiteResults"),
+    "compare_schemes": ("repro.sim.experiment", "compare_schemes"),
+    "run_suite": ("repro.sim.experiment", "run_suite"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,245 @@
+"""Simulation configuration (paper Table 2) and interval scaling.
+
+The paper's interval-like constants — reconfiguration intervals, the BBV
+sampling interval, hotspot size bands — are all quoted against ~10^10
+-instruction runs.  The reproduction runs a few million synthetic
+instructions, so every interval-like constant is multiplied by a common
+``scale`` (default 1/100), which preserves every ratio the results depend
+on (DESIGN.md §2).  Cache geometries are kept at the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+# TuningConfig and BBVConfig live with the code they parameterise (they are
+# re-exported here so configuration stays one-stop for users).
+from repro.core.tuning import TuningConfig
+from repro.phases.bbv import BBVConfig
+from repro.energy.model import CacheEnergyModel, EnergyModel, PipelineEnergyModel
+from repro.energy.params import (
+    CacheEnergySpec,
+    DEFAULT_L1D_ENERGY,
+    DEFAULT_L2_ENERGY,
+    MEMORY_ACCESS_NJ,
+)
+from repro.uarch.branch import BimodalPredictor
+from repro.uarch.cache import Cache
+from repro.uarch.cu import CacheSizeCU, ConfigurableUnit, IssueQueueCU, ReorderBufferCU
+from repro.uarch.hierarchy import CacheHierarchy, InstructionCacheModel
+from repro.uarch.machine import MachineModel
+from repro.uarch.timing import TimingModel, TimingParams
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry + legal sizes of one configurable cache (Table 2)."""
+
+    name: str
+    sizes: Tuple[int, ...]
+    line_size: int
+    associativity: int
+    reconfiguration_interval: int  # unscaled instructions
+
+    @property
+    def max_size(self) -> int:
+        return max(self.sizes)
+
+
+from repro.scaling import DEFAULT_INTERVAL_SCALE, STRUCTURE_SCALE
+
+#: Paper Table 2: L1D 64/32/16/8 KB, 2-way, 64 B lines, 100 K-insn
+#: interval (capacities divided by STRUCTURE_SCALE).
+L1D_CONFIG = CacheConfig(
+    name="L1D",
+    sizes=(
+        64 * KB // STRUCTURE_SCALE,
+        32 * KB // STRUCTURE_SCALE,
+        16 * KB // STRUCTURE_SCALE,
+        8 * KB // STRUCTURE_SCALE,
+    ),
+    line_size=64,
+    associativity=2,
+    reconfiguration_interval=100_000,
+)
+
+#: Paper Table 2: L2 1 M/512 K/256 K/128 K, 4-way, 128 B lines, 1 M
+#: interval (capacities divided by STRUCTURE_SCALE).
+L2_CONFIG = CacheConfig(
+    name="L2",
+    sizes=(
+        1 * MB // STRUCTURE_SCALE,
+        512 * KB // STRUCTURE_SCALE,
+        256 * KB // STRUCTURE_SCALE,
+        128 * KB // STRUCTURE_SCALE,
+    ),
+    line_size=128,
+    associativity=4,
+    reconfiguration_interval=1_000_000,
+)
+
+
+@dataclass(frozen=True)
+class ScaledParameters:
+    """All interval-like constants after applying the common scale.
+
+    The hotspot size bands follow the paper's §3.2.1 rule: L1D hotspots are
+    50 K–500 K instructions (0.5×–5× the L1D interval), L2 hotspots are
+    anything larger.
+    """
+
+    scale: float = DEFAULT_INTERVAL_SCALE
+
+    def scaled(self, unscaled: int) -> int:
+        return max(1, int(round(unscaled * self.scale)))
+
+    @property
+    def l1d_reconfig_interval(self) -> int:
+        return self.scaled(L1D_CONFIG.reconfiguration_interval)
+
+    @property
+    def l2_reconfig_interval(self) -> int:
+        return self.scaled(L2_CONFIG.reconfiguration_interval)
+
+    @property
+    def bbv_sampling_interval(self) -> int:
+        # Paper §5.2: BBV sampling interval = the L2 reconfiguration interval.
+        return self.l2_reconfig_interval
+
+    @property
+    def l1d_hotspot_min(self) -> int:
+        return self.scaled(50_000)
+
+    @property
+    def l1d_hotspot_max(self) -> int:
+        return self.scaled(500_000)
+
+    @property
+    def l2_hotspot_min(self) -> int:
+        return self.l1d_hotspot_max
+
+
+@dataclass
+class MachineConfig:
+    """Complete simulated-machine description."""
+
+    l1d: CacheConfig = field(default_factory=lambda: L1D_CONFIG)
+    l2: CacheConfig = field(default_factory=lambda: L2_CONFIG)
+    l1i_size: int = 64 * KB // STRUCTURE_SCALE
+    l1i_line: int = 64
+    timing: TimingParams = field(default_factory=TimingParams)
+    l1d_energy: CacheEnergySpec = DEFAULT_L1D_ENERGY
+    l2_energy: CacheEnergySpec = DEFAULT_L2_ENERGY
+    memory_access_nj: float = MEMORY_ACCESS_NJ
+    params: ScaledParameters = field(default_factory=ScaledParameters)
+    #: Extension CUs (issue queue / reorder buffer); off for the paper's
+    #: headline experiments.
+    enable_pipeline_cus: bool = False
+    iq_reconfig_interval_unscaled: int = 10_000
+    rob_reconfig_interval_unscaled: int = 10_000
+    record_reconfigurations: bool = False
+    #: Cache resize semantics: "selective" (selective-sets hardware, the
+    #: default) or "flush" (invalidate everything on resize — the
+    #: conservative cost model; see the resize-policy ablation bench).
+    resize_policy: str = "selective"
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment = machine + budgets + scheme knobs."""
+
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    tuning: TuningConfig = field(default_factory=TuningConfig)
+    bbv: BBVConfig = field(default_factory=BBVConfig)
+    max_instructions: int = 6_000_000
+    hot_threshold: int = 4
+    seed: int = 12345
+
+
+def build_machine(config: Optional[MachineConfig] = None) -> MachineModel:
+    """Construct a fresh machine model from a configuration."""
+    config = config or MachineConfig()
+    params = config.params
+    l1d_cache = Cache(
+        config.l1d.name,
+        config.l1d.max_size,
+        config.l1d.line_size,
+        config.l1d.associativity,
+        sizes=config.l1d.sizes,
+        resize_policy=config.resize_policy,
+    )
+    l2_cache = Cache(
+        config.l2.name,
+        config.l2.max_size,
+        config.l2.line_size,
+        config.l2.associativity,
+        sizes=config.l2.sizes,
+        resize_policy=config.resize_policy,
+    )
+    hierarchy = CacheHierarchy(
+        l1d_cache,
+        l2_cache,
+        InstructionCacheModel(config.l1i_size, config.l1i_line),
+    )
+    # Reconfiguration intervals are scaled down by `params.scale`, so the
+    # per-line flush *stall* is scaled identically — otherwise the
+    # overhead-to-interval ratio (the quantity the paper's results depend
+    # on) would be inflated by 1/scale.  The writeback *traffic* and its
+    # energy remain unscaled: they are per-event costs, not rates.
+    timing_params = replace(
+        config.timing,
+        flush_cycles_per_line=(
+            config.timing.flush_cycles_per_line * params.scale
+        ),
+    )
+    timing = TimingModel(timing_params)
+    energy = EnergyModel(
+        l1d=CacheEnergyModel(
+            config.l1d.name,
+            config.l1d_energy,
+            config.l1d.sizes,
+            config.l1d.max_size,
+        ),
+        l2=CacheEnergyModel(
+            config.l2.name,
+            config.l2_energy,
+            config.l2.sizes,
+            config.l2.max_size,
+        ),
+        memory_access_nj=config.memory_access_nj,
+    )
+    cus: Dict[str, ConfigurableUnit] = {
+        config.l1d.name: CacheSizeCU(
+            l1d_cache, params.scaled(config.l1d.reconfiguration_interval)
+        ),
+        config.l2.name: CacheSizeCU(
+            l2_cache, params.scaled(config.l2.reconfiguration_interval)
+        ),
+    }
+    if config.enable_pipeline_cus:
+        iq = IssueQueueCU(
+            timing, params.scaled(config.iq_reconfig_interval_unscaled)
+        )
+        rob = ReorderBufferCU(
+            timing, params.scaled(config.rob_reconfig_interval_unscaled)
+        )
+        cus[iq.name] = iq
+        cus[rob.name] = rob
+        energy.pipeline[iq.name] = PipelineEnergyModel(
+            iq.name, TimingModel.FULL_ISSUE_QUEUE, nj_per_cycle_full=0.30
+        )
+        energy.pipeline[rob.name] = PipelineEnergyModel(
+            rob.name, TimingModel.FULL_ROB, nj_per_cycle_full=0.35
+        )
+    return MachineModel(
+        hierarchy,
+        BimodalPredictor(entries=2048),
+        timing,
+        energy,
+        cus,
+        record_reconfigurations=config.record_reconfigurations,
+    )

@@ -1,0 +1,182 @@
+"""Single-run driver: one benchmark, one adaptation scheme.
+
+Wires together workload, machine, VM, and policy, runs to the instruction
+budget, and packages everything the evaluation needs into a
+:class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.policy import HotspotACEPolicy, HotspotPolicyStats
+from repro.core.prediction import (
+    FootprintPredictor,
+    install_program_for_prediction,
+)
+from repro.phases.policy import BBVACEPolicy, BBVPolicyStats
+from repro.sim.config import ExperimentConfig, build_machine
+from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
+from repro.workloads.specjvm import BuiltBenchmark, build_benchmark
+
+SCHEMES = ("baseline", "bbv", "hotspot")
+
+
+@dataclass
+class HotspotSummary:
+    """Per-hotspot data extracted from the DO database (Table 4)."""
+
+    name: str
+    invocations: int
+    mean_size: float
+    detected_at: Optional[int]
+    pre_hot_instructions: int
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    benchmark: str
+    scheme: str
+    instructions: int
+    cycles: float
+    ipc: float
+    l1d_energy_nj: float
+    l2_energy_nj: float
+    l1d_breakdown: Dict[str, float]
+    l2_breakdown: Dict[str, float]
+    memory_nj: float
+    l1d_miss_rate: float
+    l2_miss_rate: float
+    branch_mispredict_rate: float
+    n_hotspots: int
+    instructions_in_hotspots: int
+    hotspot_summaries: Dict[str, HotspotSummary] = field(default_factory=dict)
+    hotspot_stats: Optional[HotspotPolicyStats] = None
+    bbv_stats: Optional[BBVPolicyStats] = None
+    applied_reconfigurations: Dict[str, int] = field(default_factory=dict)
+    denied_reconfigurations: Dict[str, int] = field(default_factory=dict)
+    gc_invocations: int = 0
+
+    @property
+    def hotspot_coverage(self) -> float:
+        """Fraction of dynamic instructions inside detected hotspots."""
+        if self.instructions == 0:
+            return 0.0
+        return self.instructions_in_hotspots / self.instructions
+
+    @property
+    def identification_latency(self) -> float:
+        """Fraction of execution spent in not-yet-hot invocations of
+        methods that eventually became hotspots (Table 4's last row)."""
+        if self.instructions == 0:
+            return 0.0
+        pre = sum(
+            h.pre_hot_instructions for h in self.hotspot_summaries.values()
+        )
+        return min(1.0, pre / self.instructions)
+
+    @property
+    def avg_hotspot_size(self) -> float:
+        sizes = [h.mean_size for h in self.hotspot_summaries.values()]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    @property
+    def avg_invocations_per_hotspot(self) -> float:
+        invs = [h.invocations for h in self.hotspot_summaries.values()]
+        return sum(invs) / len(invs) if invs else 0.0
+
+
+def make_policy(scheme: str, config: ExperimentConfig) -> AdaptationHooks:
+    """Instantiate the adaptation policy for a scheme name."""
+    if scheme == "baseline":
+        return AdaptationHooks()
+    if scheme == "bbv":
+        return BBVACEPolicy(bbv=config.bbv, tuning=config.tuning)
+    if scheme == "hotspot":
+        return HotspotACEPolicy(tuning=config.tuning)
+    raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+
+
+def run_benchmark(
+    benchmark: Union[str, BuiltBenchmark],
+    scheme: str = "hotspot",
+    config: Optional[ExperimentConfig] = None,
+    policy: Optional[AdaptationHooks] = None,
+    max_instructions: Optional[int] = None,
+    preload_database=None,
+) -> RunResult:
+    """Run one benchmark under one scheme; returns the result bundle.
+
+    ``policy`` overrides the scheme's default policy object (used by the
+    ablation benches to pass customised policies while keeping the same
+    plumbing).
+    """
+    config = config or ExperimentConfig()
+    built = (
+        build_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    )
+    machine = build_machine(config.machine)
+    if policy is None:
+        policy = make_policy(scheme, config)
+    if isinstance(policy, HotspotACEPolicy) and policy.predictor is not None:
+        install_program_for_prediction(machine, built.program)
+    vm_config = VMConfig(
+        hot_threshold=config.hot_threshold,
+        seed=config.seed,
+        gc_method="gc_sweep" if built.spec.gc else "",
+        gc_period_instructions=built.spec.gc_period if built.spec.gc else 0,
+    )
+    vm = VirtualMachine(
+        built.program,
+        machine,
+        policy=policy,
+        config=vm_config,
+        thread_entries=built.thread_entries,
+        preload_database=preload_database,
+    )
+    vm.run(max_instructions or config.max_instructions)
+
+    hotspot_stats = (
+        policy.finalize() if isinstance(policy, HotspotACEPolicy) else None
+    )
+    bbv_stats = (
+        policy.finalize() if isinstance(policy, BBVACEPolicy) else None
+    )
+    summaries = {
+        name: HotspotSummary(
+            name=name,
+            invocations=info.profile.invocations,
+            mean_size=info.mean_size,
+            detected_at=info.profile.detected_at,
+            pre_hot_instructions=info.profile.pre_hot_instructions,
+        )
+        for name, info in vm.database.hotspots.items()
+    }
+    l1 = machine.hierarchy.l1d.stats
+    l2 = machine.hierarchy.l2.stats
+    return RunResult(
+        benchmark=built.name,
+        scheme=policy.name,
+        instructions=machine.instructions,
+        cycles=machine.cycles,
+        ipc=machine.ipc,
+        l1d_energy_nj=machine.energy.l1d.total_nj,
+        l2_energy_nj=machine.energy.l2.total_nj,
+        l1d_breakdown=machine.energy.l1d.breakdown(),
+        l2_breakdown=machine.energy.l2.breakdown(),
+        memory_nj=machine.energy.memory_nj,
+        l1d_miss_rate=l1.miss_rate,
+        l2_miss_rate=l2.miss_rate,
+        branch_mispredict_rate=machine.predictor.misprediction_rate,
+        n_hotspots=len(vm.database.hotspots),
+        instructions_in_hotspots=vm.stats.instructions_in_hotspots,
+        hotspot_summaries=summaries,
+        hotspot_stats=hotspot_stats,
+        bbv_stats=bbv_stats,
+        applied_reconfigurations=dict(machine.applied_reconfigurations),
+        denied_reconfigurations=dict(machine.denied_reconfigurations),
+        gc_invocations=vm.stats.gc_invocations,
+    )

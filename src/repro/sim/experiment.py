@@ -1,0 +1,144 @@
+"""Experiment runner: baseline vs. BBV vs. hotspot across the suite.
+
+This is the layer the table/figure benches and the CLI drive.  Suite runs
+are cached per (config fingerprint, benchmark, scheme) within the process,
+because several exhibits are different projections of the same three runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunResult, run_benchmark
+from repro.workloads.specjvm import BENCHMARK_NAMES, build_benchmark
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def _fingerprint(config: ExperimentConfig) -> Tuple:
+    machine = config.machine
+    return (
+        config.max_instructions,
+        config.hot_threshold,
+        config.seed,
+        machine.params.scale,
+        machine.enable_pipeline_cus,
+        machine.resize_policy,
+        config.tuning.objective,
+        config.tuning.performance_threshold,
+        config.tuning.sampling_period_invocations,
+        config.tuning.retune_ipc_delta,
+        config.bbv.similarity_threshold,
+        config.bbv.n_buckets,
+        config.bbv.stable_min_intervals,
+    )
+
+
+def cached_run(
+    benchmark: str,
+    scheme: str,
+    config: ExperimentConfig,
+    use_cache: bool = True,
+) -> RunResult:
+    """Run (or fetch from the in-process cache) one benchmark+scheme."""
+    key = (benchmark, scheme, _fingerprint(config))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    result = run_benchmark(build_benchmark(benchmark), scheme, config)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+@dataclass
+class BenchmarkComparison:
+    """Baseline/BBV/hotspot results for one benchmark (Figures 3–4)."""
+
+    benchmark: str
+    baseline: RunResult
+    bbv: RunResult
+    hotspot: RunResult
+
+    def _per_insn(self, result: RunResult, value: float) -> float:
+        return value / result.instructions if result.instructions else 0.0
+
+    def energy_reduction(self, scheme: str, cache: str) -> float:
+        """Energy-per-instruction reduction of ``scheme`` vs. baseline."""
+        result = getattr(self, scheme)
+        if cache == "L1D":
+            adaptive = self._per_insn(result, result.l1d_energy_nj)
+            base = self._per_insn(self.baseline, self.baseline.l1d_energy_nj)
+        elif cache == "L2":
+            adaptive = self._per_insn(result, result.l2_energy_nj)
+            base = self._per_insn(self.baseline, self.baseline.l2_energy_nj)
+        else:
+            raise ValueError(f"unknown cache {cache!r}")
+        return 1.0 - adaptive / base if base > 0 else 0.0
+
+    def slowdown(self, scheme: str) -> float:
+        """Relative CPI increase of ``scheme`` vs. baseline (Figure 4)."""
+        result = getattr(self, scheme)
+        adaptive_cpi = (
+            result.cycles / result.instructions if result.instructions else 0
+        )
+        base_cpi = (
+            self.baseline.cycles / self.baseline.instructions
+            if self.baseline.instructions
+            else 0
+        )
+        return adaptive_cpi / base_cpi - 1.0 if base_cpi > 0 else 0.0
+
+
+@dataclass
+class SuiteResults:
+    """All comparisons, keyed by benchmark, plus suite averages."""
+
+    comparisons: Dict[str, BenchmarkComparison] = field(default_factory=dict)
+
+    def benchmarks(self) -> List[str]:
+        return list(self.comparisons)
+
+    def average_energy_reduction(self, scheme: str, cache: str) -> float:
+        values = [
+            c.energy_reduction(scheme, cache)
+            for c in self.comparisons.values()
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def average_slowdown(self, scheme: str) -> float:
+        values = [c.slowdown(scheme) for c in self.comparisons.values()]
+        return sum(values) / len(values) if values else 0.0
+
+
+def compare_schemes(
+    benchmark: str,
+    config: Optional[ExperimentConfig] = None,
+    use_cache: bool = True,
+) -> BenchmarkComparison:
+    """Run all three schemes on one benchmark."""
+    config = config or ExperimentConfig()
+    return BenchmarkComparison(
+        benchmark=benchmark,
+        baseline=cached_run(benchmark, "baseline", config, use_cache),
+        bbv=cached_run(benchmark, "bbv", config, use_cache),
+        hotspot=cached_run(benchmark, "hotspot", config, use_cache),
+    )
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+    use_cache: bool = True,
+) -> SuiteResults:
+    """Run the three-scheme comparison over the whole suite (or subset)."""
+    config = config or ExperimentConfig()
+    results = SuiteResults()
+    for name in names or BENCHMARK_NAMES:
+        results.comparisons[name] = compare_schemes(name, config, use_cache)
+    return results

@@ -1,0 +1,72 @@
+"""Statistical helpers used across the evaluation.
+
+The paper reports coefficient-of-variation (CoV = population standard
+deviation / mean, as a percentage) for per-phase and inter-phase IPC
+(Table 5); these helpers centralise that arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def population_std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return (sum((v - m) ** 2 for v in values) / len(values)) ** 0.5
+
+
+def coefficient_of_variation(values: Sequence[float]) -> Optional[float]:
+    """Population CoV; None when undefined (fewer than 2 values or
+    non-positive mean)."""
+    if len(values) < 2:
+        return None
+    m = mean(values)
+    if m <= 0:
+        return None
+    return population_std(values) / m
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values: {v}")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def percent(x: float, digits: int = 1) -> str:
+    """Format a fraction as the paper's tables do (e.g. '47.3%')."""
+    return f"{x * 100:.{digits}f}%"
+
+
+def safe_ratio(num: float, den: float, default: float = 0.0) -> float:
+    return num / den if den else default
+
+
+def running_cov(values: Iterable[float]) -> Optional[float]:
+    """One-pass CoV over an iterable (population variance)."""
+    n = 0
+    total = 0.0
+    total_sq = 0.0
+    for v in values:
+        n += 1
+        total += v
+        total_sq += v * v
+    if n < 2:
+        return None
+    m = total / n
+    if m <= 0:
+        return None
+    variance = max(0.0, total_sq / n - m * m)
+    return (variance ** 0.5) / m

@@ -1,0 +1,116 @@
+"""Trace serialization: JSONL capture and replay of block-event streams.
+
+Lets a workload's event stream be captured once and replayed through
+differently configured machines — handy for debugging adaptation
+decisions (`tools/diagnose.py`-style forensics) and for regression tests
+that must hold the instruction stream fixed while varying the hardware.
+
+Format: one JSON object per line, using short keys to keep multi-hundred-
+thousand-event traces manageable::
+
+    {"m": "mid0", "b": "loop", "n": 40, "l": [...], "s": [...],
+     "bp": 65632, "kp": 65632, "t": 1, "z": 0, "th": 0}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.trace.events import BlockEvent
+
+
+def event_to_dict(event: BlockEvent) -> dict:
+    return {
+        "m": event.method,
+        "b": event.bid,
+        "n": event.n_insns,
+        "l": list(event.loads),
+        "s": list(event.stores),
+        "bp": event.branch_pc,
+        "kp": event.block_pc,
+        "t": 1 if event.taken else 0,
+        "z": 1 if event.serialized else 0,
+        "th": event.thread_id,
+    }
+
+
+def event_from_dict(record: dict) -> BlockEvent:
+    return BlockEvent(
+        record["m"],
+        record["b"],
+        record["n"],
+        record["l"],
+        record["s"],
+        record["bp"],
+        bool(record["t"]),
+        serialized=bool(record.get("z", 0)),
+        thread_id=record.get("th", 0),
+        block_pc=record.get("kp", 0),
+    )
+
+
+def write_trace(events: Iterable[BlockEvent], fp: IO[str]) -> int:
+    """Write events as JSONL; returns the number written."""
+    count = 0
+    for event in events:
+        fp.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def read_trace(fp: IO[str]) -> Iterator[BlockEvent]:
+    """Stream events back from a JSONL trace."""
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        yield event_from_dict(json.loads(line))
+
+
+def save_trace(events: Iterable[BlockEvent], path: str) -> int:
+    with open(path, "w") as fp:
+        return write_trace(events, fp)
+
+
+def load_trace(path: str) -> List[BlockEvent]:
+    with open(path) as fp:
+        return list(read_trace(fp))
+
+
+def capture_trace(
+    program_or_benchmark: Union[str, object],
+    max_instructions: int = 200_000,
+    capacity: int = 1_000_000,
+):
+    """Run a program/benchmark under the no-op policy, capturing events.
+
+    Returns a :class:`repro.trace.stream.TraceRecorder`.
+    """
+    from repro.sim.config import MachineConfig, build_machine
+    from repro.trace.stream import TraceRecorder
+    from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
+    from repro.workloads.specjvm import build_benchmark
+
+    if isinstance(program_or_benchmark, str):
+        built = build_benchmark(program_or_benchmark)
+        program, entries = built.program, built.thread_entries
+    else:
+        program, entries = program_or_benchmark, None
+
+    recorder = TraceRecorder(capacity=capacity)
+
+    class Capture(AdaptationHooks):
+        def on_block(self, event, machine):
+            recorder.observe(event)
+
+    vm = VirtualMachine(
+        program,
+        build_machine(MachineConfig()),
+        policy=Capture(),
+        config=VMConfig(),
+        thread_entries=entries,
+    )
+    vm.run(max_instructions)
+    return recorder

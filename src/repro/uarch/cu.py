@@ -1,0 +1,179 @@
+"""Configurable units (CUs).
+
+A CU is a hardware resource with a small set of legal settings and a
+reconfiguration interval that amortises its reconfiguration overhead
+(paper §2.1).  The evaluation uses two cache-size CUs (L1D: 64/32/16/8 KB at
+a 100 K-instruction interval; L2: 1 M/512 K/256 K/128 K at 1 M — both scaled
+in the reproduction); the issue-queue and reorder-buffer CUs implement the
+units the paper reports as work in progress (§4.1), used by the multi-CU
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.uarch.cache import Cache
+from repro.uarch.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class ReconfigCost:
+    """Overhead of one applied reconfiguration.
+
+    ``writeback_lines`` carries the flushed dirty line addresses so the
+    machine model can route them into the next hierarchy level.
+    """
+
+    dirty_lines: int = 0
+    drain_cycles: float = 0.0
+    writeback_lines: Tuple[int, ...] = ()
+
+
+class ConfigurableUnit(abc.ABC):
+    """A resource whose setting can be changed through a control register.
+
+    Settings are indexed 0..n-1 with index 0 the *maximum* (baseline)
+    setting; policies walk indices, the hardware interprets them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        settings: Sequence[object],
+        reconfiguration_interval: int,
+    ):
+        if not settings:
+            raise ValueError(f"CU {name!r} needs at least one setting")
+        if reconfiguration_interval < 0:
+            raise ValueError(
+                f"CU {name!r}: interval must be >= 0, "
+                f"got {reconfiguration_interval}"
+            )
+        self.name = name
+        self.settings: Tuple[object, ...] = tuple(settings)
+        self.reconfiguration_interval = reconfiguration_interval
+        self._current_index = 0
+
+    @property
+    def current_index(self) -> int:
+        return self._current_index
+
+    @property
+    def current_setting(self) -> object:
+        return self.settings[self._current_index]
+
+    @property
+    def n_settings(self) -> int:
+        return len(self.settings)
+
+    def apply(self, index: int) -> ReconfigCost:
+        """Switch to setting ``index``; returns the overhead incurred.
+
+        Re-applying the current index is free (idempotent).
+        """
+        if not 0 <= index < len(self.settings):
+            raise IndexError(
+                f"CU {self.name!r}: setting index {index} out of range "
+                f"0..{len(self.settings) - 1}"
+            )
+        if index == self._current_index:
+            return ReconfigCost()
+        cost = self._reconfigure(index)
+        self._current_index = index
+        return cost
+
+    @abc.abstractmethod
+    def _reconfigure(self, index: int) -> ReconfigCost:
+        """Perform the hardware-side state change."""
+
+    def describe_setting(self, index: int) -> str:
+        return str(self.settings[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"setting={self.describe_setting(self._current_index)}, "
+            f"interval={self.reconfiguration_interval})"
+        )
+
+
+def _format_bytes(n: int) -> str:
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}MB"
+    if n >= 1 << 10 and n % (1 << 10) == 0:
+        return f"{n >> 10}KB"
+    return f"{n}B"
+
+
+class CacheSizeCU(ConfigurableUnit):
+    """Size-adaptable cache: settings are capacities, largest first."""
+
+    def __init__(self, cache: Cache, reconfiguration_interval: int):
+        super().__init__(cache.name, cache.sizes, reconfiguration_interval)
+        self.cache = cache
+        self._current_index = cache.sizes.index(cache.size)
+
+    def _reconfigure(self, index: int) -> ReconfigCost:
+        dirty = self.cache.resize(self.settings[index])
+        return ReconfigCost(dirty_lines=len(dirty), writeback_lines=tuple(dirty))
+
+    def describe_setting(self, index: int) -> str:
+        return _format_bytes(self.settings[index])
+
+
+class IssueQueueCU(ConfigurableUnit):
+    """Resizable issue queue (extension CU; low reconfiguration overhead).
+
+    Shrinking only requires draining in-flight entries, so the interval is
+    orders of magnitude smaller than a cache's (paper §2.1 cites thousands
+    of instructions for scheduler structures).
+    """
+
+    DEFAULT_SIZES = (64, 48, 32, 16)
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        reconfiguration_interval: int,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        drain_cycles: float = 32.0,
+    ):
+        super().__init__("IQ", sizes, reconfiguration_interval)
+        self.timing = timing
+        self.drain_cycles = drain_cycles
+        timing.set_issue_queue_size(self.settings[0])
+
+    def _reconfigure(self, index: int) -> ReconfigCost:
+        self.timing.set_issue_queue_size(self.settings[index])
+        return ReconfigCost(drain_cycles=self.drain_cycles)
+
+    def describe_setting(self, index: int) -> str:
+        return f"{self.settings[index]}-entry"
+
+
+class ReorderBufferCU(ConfigurableUnit):
+    """Resizable reorder buffer (extension CU)."""
+
+    DEFAULT_SIZES = (64, 48, 32, 16)
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        reconfiguration_interval: int,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        drain_cycles: float = 48.0,
+    ):
+        super().__init__("ROB", sizes, reconfiguration_interval)
+        self.timing = timing
+        self.drain_cycles = drain_cycles
+        timing.set_rob_size(self.settings[0])
+
+    def _reconfigure(self, index: int) -> ReconfigCost:
+        self.timing.set_rob_size(self.settings[index])
+        return ReconfigCost(drain_cycles=self.drain_cycles)
+
+    def describe_setting(self, index: int) -> str:
+        return f"{self.settings[index]}-entry"

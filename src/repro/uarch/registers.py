@@ -1,0 +1,87 @@
+"""Hardware support for software-driven reconfiguration (paper §3.4).
+
+Each configurable unit exposes a *control register*; software changes a
+unit's configuration by writing the register through a special instruction
+(modelled as :meth:`ControlRegisterFile.write`).  A per-CU hardware counter
+remembers the last reconfiguration time; requests arriving before the CU's
+reconfiguration interval has elapsed are silently ignored, freeing software
+from tracking minimum intervals — the mechanism the paper relies on to make
+naive tuning code safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ReconfigurationGuard:
+    """Per-CU last-reconfiguration counters + minimum-interval enforcement.
+
+    Time is measured in retired instructions (the paper quotes
+    reconfiguration intervals in instructions).  The first request for a CU
+    is always allowed.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: Dict[str, int] = {}
+        self._last: Dict[str, Optional[int]] = {}
+        self.denied: Dict[str, int] = {}
+        self.granted: Dict[str, int] = {}
+
+    def register(self, cu_name: str, interval: int) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        self._intervals[cu_name] = interval
+        self._last[cu_name] = None
+        self.denied[cu_name] = 0
+        self.granted[cu_name] = 0
+
+    def interval(self, cu_name: str) -> int:
+        return self._intervals[cu_name]
+
+    def last_reconfiguration(self, cu_name: str) -> Optional[int]:
+        return self._last[cu_name]
+
+    def request(self, cu_name: str, now: int) -> bool:
+        """Ask to reconfigure ``cu_name`` at instruction-time ``now``.
+
+        Grants (and records the new timestamp) iff at least the CU's
+        reconfiguration interval has elapsed since the last grant.
+        """
+        if cu_name not in self._intervals:
+            raise KeyError(f"unregistered CU {cu_name!r}")
+        last = self._last[cu_name]
+        if last is not None and now - last < self._intervals[cu_name]:
+            self.denied[cu_name] += 1
+            return False
+        self._last[cu_name] = now
+        self.granted[cu_name] += 1
+        return True
+
+    def would_grant(self, cu_name: str, now: int) -> bool:
+        """Check admissibility without consuming the request."""
+        last = self._last[cu_name]
+        return last is None or now - last >= self._intervals[cu_name]
+
+
+class ControlRegisterFile:
+    """Architectural control registers: one setting index per CU."""
+
+    def __init__(self) -> None:
+        self._registers: Dict[str, int] = {}
+        self.writes = 0
+
+    def define(self, cu_name: str, initial: int = 0) -> None:
+        self._registers[cu_name] = initial
+
+    def read(self, cu_name: str) -> int:
+        return self._registers[cu_name]
+
+    def write(self, cu_name: str, value: int) -> None:
+        if cu_name not in self._registers:
+            raise KeyError(f"undefined control register {cu_name!r}")
+        self._registers[cu_name] = value
+        self.writes += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._registers)

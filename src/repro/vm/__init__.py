@@ -1,0 +1,32 @@
+"""The dynamic optimization (DO) system substrate.
+
+Stands in for Jikes RVM 2.0.2 on Dynamic SimpleScalar (paper §4.2): a
+compile-only virtual machine that interprets mini-ISA programs at block
+granularity, counts method invocations, detects hotspots when a method's
+invocation counter crosses ``hot_threshold`` (paper Table 1), JIT-optimises
+them, and dispatches hotspot entry/exit hooks to an attached adaptation
+policy — the protocol the paper's ACE management framework (Figure 2) is
+built on.
+"""
+
+from repro.vm.activation import Activation, ThreadContext
+from repro.vm.hotspot import DODatabase, HotspotDetector, HotspotInfo
+from repro.vm.jit import CompileEvent, JITCompiler, OptimizationLevel
+from repro.vm.sampler import SamplingProfiler
+from repro.vm.vm import AdaptationHooks, VMConfig, VMStats, VirtualMachine
+
+__all__ = [
+    "Activation",
+    "AdaptationHooks",
+    "CompileEvent",
+    "DODatabase",
+    "HotspotDetector",
+    "HotspotInfo",
+    "JITCompiler",
+    "OptimizationLevel",
+    "SamplingProfiler",
+    "ThreadContext",
+    "VMConfig",
+    "VMStats",
+    "VirtualMachine",
+]

@@ -1,0 +1,215 @@
+"""Hotspot detection and the DO database (paper §3.1, Figure 2).
+
+Every method has an entry in the :class:`DODatabase` holding its runtime
+profile: invocation count, inclusive dynamic size (EWMA over completed
+invocations), and the instructions it executed before turning hot (the
+identification-latency numerator of Table 4).  The
+:class:`HotspotDetector` promotes a method to hotspot when its invocation
+counter reaches ``hot_threshold`` — the criterion Table 1 attributes to the
+DO-based approach ("hotspot invoked hot_threshold times").  Detection fires
+at *entry* to the threshold-crossing invocation, so exactly
+``hot_threshold - 1`` full invocations execute unoptimised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MethodProfile:
+    """DO-database entry for one method."""
+
+    __slots__ = (
+        "name",
+        "invocations",
+        "completed_invocations",
+        "mean_size",
+        "pre_hot_instructions",
+        "is_hot",
+        "detected_at",
+        "detected_at_invocation",
+    )
+
+    #: EWMA smoothing for the inclusive-size estimate.
+    ALPHA = 0.25
+
+    def __init__(self, name: str):
+        self.name = name
+        self.invocations = 0
+        self.completed_invocations = 0
+        self.mean_size = 0.0
+        self.pre_hot_instructions = 0
+        self.is_hot = False
+        self.detected_at: Optional[int] = None
+        self.detected_at_invocation: Optional[int] = None
+
+    def record_completion(self, inclusive_insns: int) -> None:
+        self.completed_invocations += 1
+        if self.completed_invocations == 1:
+            self.mean_size = float(inclusive_insns)
+        else:
+            self.mean_size += self.ALPHA * (inclusive_insns - self.mean_size)
+        if not self.is_hot:
+            self.pre_hot_instructions += inclusive_insns
+
+    def __repr__(self) -> str:
+        return (
+            f"MethodProfile({self.name!r}, inv={self.invocations}, "
+            f"size={self.mean_size:.0f}, hot={self.is_hot})"
+        )
+
+
+class HotspotInfo:
+    """A detected hotspot, as handed to the adaptation policy."""
+
+    __slots__ = (
+        "name",
+        "profile",
+        "detected_at_instructions",
+        "size_at_detection",
+        "invocations_since_hot",
+        "instructions_inside",
+    )
+
+    def __init__(self, profile: MethodProfile, now_instructions: int):
+        self.name = profile.name
+        self.profile = profile
+        self.detected_at_instructions = now_instructions
+        self.size_at_detection = profile.mean_size
+        self.invocations_since_hot = 0
+        #: Inclusive instructions executed inside this hotspot's invocations
+        #: after detection (outermost attribution; see VMStats).
+        self.instructions_inside = 0
+
+    @property
+    def mean_size(self) -> float:
+        """Current inclusive-size estimate (tracks drift after detection)."""
+        return self.profile.mean_size
+
+    def __repr__(self) -> str:
+        return (
+            f"HotspotInfo({self.name!r}, size={self.mean_size:.0f}, "
+            f"inv_since_hot={self.invocations_since_hot})"
+        )
+
+
+class DODatabase:
+    """Runtime profiling store of the DO system (Figure 2, bottom).
+
+    The database can be serialized and fed into a later run
+    (:meth:`to_dict` / :meth:`from_dict`, or :meth:`save` / :meth:`load`):
+    preloaded hotspots are recognised from their very first invocation, so
+    a rerun of the same workload pays no identification latency at all —
+    the persistent-translation-cache idea of production DO systems applied
+    to the paper's framework.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, MethodProfile] = {}
+        self.hotspots: Dict[str, HotspotInfo] = {}
+
+    def profile(self, name: str) -> MethodProfile:
+        entry = self._profiles.get(name)
+        if entry is None:
+            entry = MethodProfile(name)
+            self._profiles[name] = entry
+        return entry
+
+    def profiles(self) -> List[MethodProfile]:
+        return list(self._profiles.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "profiles": [
+                {
+                    "name": p.name,
+                    "invocations": p.invocations,
+                    "completed": p.completed_invocations,
+                    "mean_size": p.mean_size,
+                    "is_hot": p.is_hot,
+                }
+                for p in self._profiles.values()
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DODatabase":
+        """Rebuild a database for preloading into a fresh run.
+
+        Per-run metrics (pre-hot instruction counts, detection timestamps,
+        invocation counters) restart from zero; what carries over is the
+        knowledge of *which* methods are hot and how big they are — enough
+        for instant recognition and size classification.
+        """
+        db = cls()
+        for record in data.get("profiles", []):
+            profile = MethodProfile(record["name"])
+            profile.mean_size = float(record["mean_size"])
+            profile.completed_invocations = int(record["completed"])
+            if record.get("is_hot"):
+                profile.is_hot = True
+                profile.detected_at = 0
+                profile.detected_at_invocation = 0
+                info = HotspotInfo(profile, 0)
+                db.hotspots[record["name"]] = info
+            db._profiles[record["name"]] = profile
+        return db
+
+    def save(self, path: str) -> None:
+        import json
+
+        with open(path, "w") as fp:
+            json.dump(self.to_dict(), fp, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "DODatabase":
+        import json
+
+        with open(path) as fp:
+            return cls.from_dict(json.load(fp))
+
+
+class HotspotDetector:
+    """Invocation-threshold hotspot detection.
+
+    ``min_size``/``None`` optionally filters out methods whose inclusive
+    size estimate is still zero (never completed an invocation) — such
+    methods are promoted on their next completed invocation instead, so a
+    size estimate always exists when the policy classifies the hotspot.
+    """
+
+    def __init__(self, database: DODatabase, hot_threshold: int):
+        if hot_threshold < 1:
+            raise ValueError(
+                f"hot_threshold must be >= 1, got {hot_threshold}"
+            )
+        self.database = database
+        self.hot_threshold = hot_threshold
+
+    def on_invocation(
+        self, method_name: str, now_instructions: int
+    ) -> Optional[HotspotInfo]:
+        """Count an invocation; returns a new HotspotInfo on promotion."""
+        profile = self.database.profile(method_name)
+        profile.invocations += 1
+        if profile.is_hot:
+            info = self.database.hotspots[method_name]
+            info.invocations_since_hot += 1
+            return None
+        if (
+            profile.invocations >= self.hot_threshold
+            and profile.completed_invocations > 0
+        ):
+            profile.is_hot = True
+            profile.detected_at = now_instructions
+            profile.detected_at_invocation = profile.invocations
+            info = HotspotInfo(profile, now_instructions)
+            info.invocations_since_hot = 1
+            self.database.hotspots[method_name] = info
+            return info
+        return None

@@ -1,0 +1,147 @@
+"""JIT compiler model (paper §4.2).
+
+Jikes RVM is compile-only: every method is baseline-compiled on first
+invocation, and hotspots are recompiled at the highest optimisation level
+(the paper restricts itself to one level to avoid multiple hotspot
+versions).  The reproduction charges compile time (cycles) proportional to
+method size, and models the *instrumentation patching* the framework relies
+on: the compiler can attach/replace entry and exit stubs on a compiled
+method — the tuning/profiling/configuration/sampling code of Figure 2 —
+which the VM invokes on every subsequent entry/exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.program import Method
+
+
+class OptimizationLevel(enum.IntEnum):
+    """Compilation levels, mirroring Jikes' baseline + O0..O2."""
+
+    BASELINE = 0
+    O0 = 1
+    O1 = 2
+    O2 = 3
+
+
+@dataclass(frozen=True)
+class CompileEvent:
+    """One compilation, for logs and overhead accounting."""
+
+    method: str
+    level: OptimizationLevel
+    at_instructions: int
+    cost_cycles: float
+
+
+#: Relative compile cost per static instruction at each level; the optimizing
+#: levels are much slower than the baseline compiler, as in Jikes.
+_COST_PER_INSN = {
+    OptimizationLevel.BASELINE: 2.0,
+    OptimizationLevel.O0: 10.0,
+    OptimizationLevel.O1: 25.0,
+    OptimizationLevel.O2: 60.0,
+}
+
+#: Speedup of code compiled at each level relative to baseline code.
+#: Applied as a divisor on block cycles for optimised methods.
+_CODE_QUALITY = {
+    OptimizationLevel.BASELINE: 1.0,
+    OptimizationLevel.O0: 1.15,
+    OptimizationLevel.O1: 1.25,
+    OptimizationLevel.O2: 1.30,
+}
+
+
+class EntryStub:
+    """An instrumentation stub the JIT installs at a hotspot boundary.
+
+    ``kind`` is free-form (the framework uses "tuning", "config",
+    "sampling"); ``fn`` is invoked by the VM with ``(hotspot, vm)`` at entry
+    stubs and ``(hotspot, invocation_delta, vm)`` at exit stubs.
+    """
+
+    __slots__ = ("kind", "fn")
+
+    def __init__(self, kind: str, fn: Callable):
+        self.kind = kind
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"EntryStub({self.kind!r})"
+
+
+class JITCompiler:
+    """Compile-state tracker + instrumentation patch points."""
+
+    def __init__(self, top_level: OptimizationLevel = OptimizationLevel.O2):
+        self.top_level = top_level
+        self.levels: Dict[str, OptimizationLevel] = {}
+        self.entry_stubs: Dict[str, EntryStub] = {}
+        self.exit_stubs: Dict[str, EntryStub] = {}
+        self.compile_log: List[CompileEvent] = []
+        self.total_compile_cycles = 0.0
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(
+        self,
+        method: Method,
+        level: OptimizationLevel,
+        now_instructions: int,
+    ) -> float:
+        """(Re)compile ``method`` at ``level``; returns the cycle cost."""
+        current = self.levels.get(method.name)
+        if current is not None and current >= level:
+            return 0.0
+        cost = method.static_instruction_count * _COST_PER_INSN[level]
+        self.levels[method.name] = level
+        self.compile_log.append(
+            CompileEvent(method.name, level, now_instructions, cost)
+        )
+        self.total_compile_cycles += cost
+        return cost
+
+    def ensure_baseline(self, method: Method, now_instructions: int) -> float:
+        """First-touch baseline compilation (compile-only VM)."""
+        if method.name in self.levels:
+            return 0.0
+        return self.compile(
+            method, OptimizationLevel.BASELINE, now_instructions
+        )
+
+    def optimize_hotspot(self, method: Method, now_instructions: int) -> float:
+        """Recompile a detected hotspot at the top level (paper §4.2)."""
+        return self.compile(method, self.top_level, now_instructions)
+
+    def level_of(self, method_name: str) -> OptimizationLevel:
+        return self.levels.get(method_name, OptimizationLevel.BASELINE)
+
+    def code_quality(self, method_name: str) -> float:
+        """Cycle divisor reflecting the method's code quality."""
+        return _CODE_QUALITY[self.level_of(method_name)]
+
+    # -- instrumentation patching ------------------------------------------
+
+    def patch_entry(self, method_name: str, stub: Optional[EntryStub]) -> None:
+        """Install (or, with None, remove) the entry stub of a method."""
+        if stub is None:
+            self.entry_stubs.pop(method_name, None)
+        else:
+            self.entry_stubs[method_name] = stub
+
+    def patch_exit(self, method_name: str, stub: Optional[EntryStub]) -> None:
+        if stub is None:
+            self.exit_stubs.pop(method_name, None)
+        else:
+            self.exit_stubs[method_name] = stub
+
+    def entry_stub(self, method_name: str) -> Optional[EntryStub]:
+        return self.entry_stubs.get(method_name)
+
+    def exit_stub(self, method_name: str) -> Optional[EntryStub]:
+        return self.exit_stubs.get(method_name)

@@ -1,0 +1,218 @@
+"""Method templates used by the benchmark generators.
+
+Three shapes cover the paper's hotspot taxonomy:
+
+* *leaf* methods — tiny straight-line/short-loop procedures (below the L1D
+  hotspot band; they become hotspots but stay unmanaged);
+* *loop* methods — an entry block, a loop block with memory behaviour and
+  optional callees, and an exit; trip counts are jittered per invocation,
+  which is what gives hotspots their per-invocation IPC variation
+  (Table 5's per-hotspot CoV);
+* *phased drivers* — a main method executing a "phase script": a chain of
+  segments, each invoking one driver method ``repeat`` times, the whole
+  chain wrapped in an outer loop so the script (and hence every phase)
+  recurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.isa.builder import MethodBuilder
+from repro.isa.program import DataRegion, MemoryBehavior, Method
+
+
+@dataclass
+class MethodSpec:
+    """Record of a generated method's intent (tests and docs introspect it)."""
+
+    name: str
+    kind: str  # "leaf" | "mid" | "driver" | "main" | "gc"
+    target_size: int = 0
+    trips_mean: int = 0
+    span: int = 0
+    callees: Tuple[str, ...] = ()
+
+
+class TemplateLibrary:
+    """Accumulates generated methods + their specs for one benchmark."""
+
+    def __init__(self) -> None:
+        self.methods: List[Method] = []
+        self.specs: List[MethodSpec] = []
+
+    def add(self, method: Method, spec: MethodSpec) -> None:
+        self.methods.append(method)
+        self.specs.append(spec)
+
+    def spec_of(self, name: str) -> MethodSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+def jittered_trips(mean: int, jitter: float = 0.10) -> Callable:
+    """Trip-count source: gaussian around ``mean`` with relative ``jitter``.
+
+    Returns a callable suitable for :class:`~repro.isa.program.LoopDecider`.
+    """
+    if mean < 1:
+        raise ValueError(f"mean trips must be >= 1, got {mean}")
+    if jitter <= 0:
+        return lambda rng: mean
+    sigma = max(0.5, mean * jitter)
+
+    def draw(rng) -> int:
+        return max(1, int(round(rng.gauss(mean, sigma))))
+
+    return draw
+
+
+def leaf_method(
+    name: str,
+    insns: int,
+    memory: Optional[MemoryBehavior] = None,
+    loads: int = 0,
+    stores: int = 0,
+) -> Method:
+    """A small straight-line method."""
+    builder = MethodBuilder(name)
+    builder.straight(
+        "b0",
+        max(2, insns - 1),
+        "x",
+        loads=loads,
+        stores=stores,
+        memory=memory,
+    )
+    builder.ret("x", 1)
+    return builder.build()
+
+
+def loop_method(
+    name: str,
+    *,
+    trips,
+    body_insns: int,
+    loads: int,
+    stores: int,
+    memory: Optional[MemoryBehavior],
+    callees: Sequence[str] = (),
+    entry_insns: int = 6,
+    exit_insns: int = 2,
+    region: Optional[DataRegion] = None,
+    attributes: Optional[dict] = None,
+) -> Method:
+    """Entry -> loop(body + callees) x trips -> exit."""
+    builder = MethodBuilder(name)
+    if region is not None:
+        builder.region(region.base, region.size)
+    for key, value in (attributes or {}).items():
+        builder.attribute(key, value)
+    builder.straight("e", entry_insns, "loop")
+    builder.loop(
+        "loop",
+        body_insns,
+        trips,
+        "x",
+        loads=loads,
+        stores=stores,
+        memory=memory,
+        calls=list(callees),
+    )
+    builder.ret("x", exit_insns)
+    return builder.build()
+
+
+def driver_method(
+    name: str,
+    *,
+    trips,
+    body_insns: int,
+    loads: int,
+    stores: int,
+    memory: Optional[MemoryBehavior],
+    mids: Sequence[str],
+    alternation_period: int = 10,
+    entry_insns: int = 8,
+    exit_insns: int = 2,
+    region: Optional[DataRegion] = None,
+    attributes: Optional[dict] = None,
+) -> Method:
+    """An L2-band driver that calls its mids in *runs*, not round-robin.
+
+    Each loop iteration runs the header (the driver's own memory work),
+    then a selection chain of alternating branches routes to one call
+    block.  ``alternation_period`` controls run length: the same mid is
+    invoked that many times in a row before control shifts to the next —
+    this is the sub-phase structure that makes consecutive L1D hotspot
+    invocations usually agree on a configuration (as the paper's
+    phase-structured workloads do), instead of thrashing the L1D between
+    two bests on every iteration.
+    """
+    if not mids:
+        raise ValueError(f"driver {name!r} needs at least one mid")
+    builder = MethodBuilder(name)
+    if region is not None:
+        builder.region(region.base, region.size)
+    for key, value in (attributes or {}).items():
+        builder.attribute(key, value)
+    builder.straight("e", entry_insns, "h")
+    k = len(mids)
+    first = "c0" if k == 1 else "s0"
+    builder.loop(
+        "h", body_insns, trips, "x",
+        loads=loads, stores=stores, memory=memory, body_bid=first,
+    )
+    from repro.isa.program import PersistentAlternatingDecider
+
+    for i in range(k - 1):
+        target_fall = f"s{i + 1}" if i + 1 < k - 1 else f"c{k - 1}"
+        builder.branch(
+            f"s{i}",
+            2,
+            # Persistent: the run position survives across invocations, so
+            # short driver loops still rotate through every mid.
+            PersistentAlternatingDecider(alternation_period * (i + 1)),
+            taken=f"c{i}",
+            fallthrough=target_fall,
+        )
+    for i in range(k):
+        builder.straight(f"c{i}", 4, "h", calls=[mids[i]])
+    builder.ret("x", exit_insns)
+    return builder.build()
+
+
+def phased_driver_method(
+    name: str,
+    script: Sequence[Tuple[str, int]],
+    outer_trips: int = 1_000_000,
+    segment_insns: int = 3,
+) -> Method:
+    """The main method: run the phase script ``outer_trips`` times.
+
+    ``script`` is a list of ``(callee, repeat)`` segments.  Each segment is
+    a self-looping block invoking its callee once per iteration; the final
+    segment chains into a wrap block whose back edge restarts the script.
+    """
+    if not script:
+        raise ValueError("phase script must be non-empty")
+    builder = MethodBuilder(name)
+    for i, (callee, repeat) in enumerate(script):
+        if repeat < 1:
+            raise ValueError(
+                f"segment {i}: repeat must be >= 1, got {repeat}"
+            )
+        next_bid = f"seg{i + 1}" if i + 1 < len(script) else "wrap"
+        builder.loop(
+            f"seg{i}",
+            segment_insns,
+            repeat,
+            next_bid,
+            calls=[callee],
+        )
+    builder.loop("wrap", 2, outer_trips, "end", body_bid="seg0")
+    builder.ret("end", 1)
+    return builder.build()

@@ -1,0 +1,132 @@
+"""Shared fixtures: tiny deterministic programs and machines.
+
+Tests run on small instruction budgets (tens to hundreds of thousands of
+instructions); the calibrated full-length experiments live under
+benchmarks/.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.sim.config import ExperimentConfig, MachineConfig, build_machine
+from repro.workloads.patterns import (
+    StackBehavior,
+    StridedBehavior,
+    WorkingSetBehavior,
+)
+
+KB = 1024
+
+
+def make_loop_program(
+    trips: int = 20,
+    body_insns: int = 30,
+    loads: int = 6,
+    stores: int = 2,
+    span: int = 512,
+    outer_trips: int = 100_000,
+    callee: bool = True,
+) -> Program:
+    """main{ loop(outer){ call work } }; work{ loop(trips){ mem } }.
+
+    ``work`` becomes a hotspot after a few outer iterations; its inclusive
+    size is roughly ``trips * body_insns``.
+    """
+    builder = ProgramBuilder(entry="main")
+    work = builder.method("work")
+    work.region(0x2000_0000, span)
+    work.straight("e", 4, "loop")
+    work.loop(
+        "loop",
+        body_insns,
+        trips,
+        "x",
+        loads=loads,
+        stores=stores,
+        memory=WorkingSetBehavior(span, locality=0.5),
+    )
+    work.ret("x", 2)
+    work.done()
+
+    main = builder.method("main")
+    if callee:
+        main.loop("top", 3, outer_trips, "end", calls=["work"])
+    else:
+        main.loop(
+            "top", body_insns, outer_trips, "end",
+            loads=loads, stores=stores, memory=StackBehavior(),
+        )
+    main.ret("end", 1)
+    main.done()
+    return builder.build()
+
+
+def make_two_tier_program(
+    mid_trips: int = 25,
+    driver_trips: int = 8,
+    mid_span: int = 600,
+    driver_span: int = 12 * KB,
+    outer_trips: int = 100_000,
+) -> Program:
+    """main -> driver (L2-band) -> mid (L1D-band): the nesting shape the
+    framework manages."""
+    builder = ProgramBuilder(entry="main")
+
+    mid = builder.method("mid")
+    mid.region(0x2000_0000, mid_span)
+    mid.straight("e", 5, "loop")
+    mid.loop(
+        "loop", 40, mid_trips, "x",
+        loads=8, stores=3,
+        memory=WorkingSetBehavior(mid_span, locality=0.6),
+    )
+    mid.ret("x", 2)
+    mid.done()
+
+    driver = builder.method("driver")
+    driver.region(0x3000_0000, driver_span)
+    driver.straight("e", 6, "loop")
+    driver.loop(
+        "loop", 30, driver_trips, "x",
+        loads=6, stores=2,
+        memory=WorkingSetBehavior(driver_span, locality=0.2),
+        calls=["mid"],
+    )
+    driver.ret("x", 2)
+    driver.done()
+
+    main = builder.method("main")
+    main.loop("top", 3, outer_trips, "end", calls=["driver"])
+    main.ret("end", 1)
+    main.done()
+    return builder.build()
+
+
+@pytest.fixture
+def loop_program() -> Program:
+    return make_loop_program()
+
+
+@pytest.fixture
+def two_tier_program() -> Program:
+    return make_two_tier_program()
+
+
+@pytest.fixture
+def machine():
+    return build_machine(MachineConfig())
+
+
+@pytest.fixture
+def small_config() -> ExperimentConfig:
+    return ExperimentConfig(max_instructions=200_000)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)

@@ -1,0 +1,65 @@
+"""CLI tests (parser wiring and a tiny end-to-end invocation)."""
+
+import pytest
+
+from repro.cli import ALL_EXHIBITS, build_parser, main, make_config
+
+
+class TestParser:
+    def test_exhibit_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3"])
+        assert args.exhibit == "figure3"
+        for name in ALL_EXHIBITS:
+            parser.parse_args([name])
+
+    def test_unknown_exhibit_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure9"])
+
+    def test_benchmark_filter(self):
+        args = build_parser().parse_args(
+            ["table4", "--benchmarks", "db", "mtrt"]
+        )
+        assert args.benchmarks == ["db", "mtrt"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["table4", "--benchmarks", "spec2017"]
+            )
+
+    def test_config_overrides(self):
+        args = build_parser().parse_args(
+            ["table4", "--instructions", "123", "--hot-threshold", "7",
+             "--seed", "9"]
+        )
+        config = make_config(args)
+        assert config.max_instructions == 123
+        assert config.hot_threshold == 7
+        assert config.seed == 9
+
+
+class TestMain:
+    def test_static_exhibits(self, capsys):
+        assert main(["table2"]) == 0
+        assert "L1 D-cache" in capsys.readouterr().out
+        assert main(["table3"]) == 0
+
+    def test_quick_run(self, capsys):
+        code = main(
+            ["quick", "--benchmarks", "db", "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1D energy reduction" in out
+        assert "slowdown" in out
+
+    def test_suite_exhibit_small(self, capsys):
+        code = main(
+            ["figure4", "--benchmarks", "db",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Unit tests for CU decoupling / size classification."""
+
+import pytest
+
+from repro.core.cu_assignment import SizeClassifier
+from repro.sim.config import MachineConfig, build_machine
+
+
+@pytest.fixture
+def classifier():
+    # Scaled paper intervals: L1D 1K, L2 10K.
+    return SizeClassifier({"L1D": 1_000, "L2": 10_000})
+
+
+class TestBands:
+    def test_l1d_band(self, classifier):
+        lower, upper = classifier.band("L1D")
+        assert lower == 500
+        assert upper == 5_000
+
+    def test_largest_cu_unbounded(self, classifier):
+        lower, upper = classifier.band("L2")
+        assert lower == 5_000
+        assert upper == float("inf")
+
+    def test_paper_band_values(self):
+        # Unscaled: L1D hotspots 50K-500K, L2 hotspots >= 500K (§3.2.1).
+        paper = SizeClassifier({"L1D": 100_000, "L2": 1_000_000})
+        assert paper.band("L1D") == (50_000, 500_000)
+        assert paper.band("L2")[0] == 500_000
+
+
+class TestAssignment:
+    @pytest.mark.parametrize(
+        "size, expected",
+        [
+            (100, ()),
+            (499, ()),
+            (500, ("L1D",)),
+            (3_000, ("L1D",)),
+            (4_999, ("L1D",)),
+            (5_000, ("L2",)),
+            (50_000, ("L2",)),
+            (10_000_000, ("L2",)),
+        ],
+    )
+    def test_size_to_cus(self, classifier, size, expected):
+        assert classifier.cus_for_size(size) == expected
+
+    def test_assignment_object(self, classifier):
+        assignment = classifier.assign("hs", 2_000)
+        assert assignment.is_managed
+        assert assignment.cu_names == ("L1D",)
+        unmanaged = classifier.assign("tiny", 10)
+        assert not unmanaged.is_managed
+
+    def test_classify_kind(self, classifier):
+        assert classifier.classify_kind(100) == "unmanaged"
+        assert classifier.classify_kind(1_000) == "L1D"
+        assert classifier.classify_kind(20_000) == "L2"
+
+    def test_shared_interval_cus_share_band(self):
+        classifier = SizeClassifier(
+            {"IQ": 100, "ROB": 100, "L2": 10_000}
+        )
+        assert classifier.cus_for_size(200) == ("IQ", "ROB")
+        # Kind reporting picks one deterministic representative.
+        assert classifier.classify_kind(200) in ("IQ", "ROB")
+
+    def test_from_machine(self):
+        machine = build_machine(MachineConfig())
+        classifier = SizeClassifier.from_machine(machine)
+        assert set(classifier.intervals) == {"L1D", "L2"}
+        assert classifier.intervals["L1D"] == 1_000
+        assert classifier.intervals["L2"] == 10_000
+
+    def test_rejects_empty_and_bad_intervals(self):
+        with pytest.raises(ValueError):
+            SizeClassifier({})
+        with pytest.raises(ValueError):
+            SizeClassifier({"x": 0})

@@ -1,0 +1,112 @@
+"""Tests for the high-level ACEFramework facade and the predictor."""
+
+import pytest
+
+from repro.core.framework import ACEFramework, ACEReport
+from repro.core.prediction import FootprintPredictor
+from repro.core.policy import HotspotPolicyStats
+from tests.conftest import make_loop_program, make_two_tier_program
+
+
+class TestACEFramework:
+    def test_run_produces_report(self):
+        framework = ACEFramework()
+        report = framework.run(
+            make_loop_program(trips=30, span=256),
+            max_instructions=300_000,
+        )
+        assert isinstance(report, ACEReport)
+        assert report.instructions >= 300_000
+        assert report.hotspots_detected >= 1
+        assert isinstance(report.policy_stats, HotspotPolicyStats)
+
+    def test_energy_reduction_positive_for_small_ws(self):
+        framework = ACEFramework()
+        report = framework.run(
+            make_loop_program(trips=30, span=256),
+            max_instructions=500_000,
+        )
+        assert report.l1d_energy_reduction > 0.10
+
+    def test_summary_renders(self):
+        framework = ACEFramework()
+        report = framework.run(
+            make_loop_program(trips=30), max_instructions=200_000
+        )
+        text = report.summary()
+        assert "L1D energy" in text and "slowdown" in text
+
+    def test_describe_configuration(self):
+        framework = ACEFramework(use_prediction=True, decoupling=False)
+        info = framework.describe()
+        assert info["prediction"] is True
+        assert info["decoupling"] is False
+        assert info["l1d_hotspot_band"] == (500, 5000)
+
+    def test_prediction_mode_runs(self):
+        framework = ACEFramework(use_prediction=True)
+        report = framework.run(
+            make_two_tier_program(), max_instructions=300_000
+        )
+        assert report.hotspots_detected >= 1
+
+    def test_slowdown_is_cpi_based(self):
+        framework = ACEFramework()
+        report = framework.run(
+            make_loop_program(trips=30), max_instructions=200_000
+        )
+        adaptive_cpi = report.adaptive_cycles / report.instructions
+        baseline_cpi = (
+            report.baseline_cycles / report.baseline_instructions
+        )
+        assert report.slowdown == pytest.approx(
+            adaptive_cpi / baseline_cpi - 1.0
+        )
+
+
+class TestFootprintPredictor:
+    def test_analysed_footprint_includes_callees(self):
+        program = make_two_tier_program()
+        predictor = FootprintPredictor(callee_depth=1)
+        driver = program.methods["driver"]
+        footprint = predictor.analysed_footprint(driver, program)
+        assert footprint >= 12 * 1024  # the driver's own span
+
+    def test_zero_depth_ignores_callees(self):
+        program = make_two_tier_program()
+        predictor = FootprintPredictor(callee_depth=0)
+        main = program.methods["main"]
+        assert predictor.analysed_footprint(main, program) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FootprintPredictor(headroom=0.5)
+        with pytest.raises(ValueError):
+            FootprintPredictor(callee_depth=-1)
+
+    def test_predict_without_program_returns_none(self):
+        from repro.sim.config import MachineConfig, build_machine
+        from repro.vm.hotspot import HotspotInfo, MethodProfile
+
+        machine = build_machine(MachineConfig())
+        profile = MethodProfile("work")
+        profile.record_completion(1000)
+        hotspot = HotspotInfo(profile, 0)
+        predictor = FootprintPredictor()
+        assert predictor.predict(hotspot, ("L1D",), machine) is None
+
+    def test_predict_selects_smallest_fitting(self):
+        from repro.core.prediction import install_program_for_prediction
+        from repro.sim.config import MachineConfig, build_machine
+        from repro.vm.hotspot import HotspotInfo, MethodProfile
+
+        program = make_loop_program(span=256)
+        machine = build_machine(MachineConfig())
+        install_program_for_prediction(machine, program)
+        profile = MethodProfile("work")
+        profile.record_completion(1000)
+        hotspot = HotspotInfo(profile, 0)
+        predictor = FootprintPredictor(headroom=1.5)
+        prediction = predictor.predict(hotspot, ("L1D",), machine)
+        # 256 * 1.5 = 384B fits even the 1 KB setting (index 3).
+        assert prediction == (3,)

@@ -1,0 +1,238 @@
+"""Unit tests for tuning state machines and selection rules."""
+
+import pytest
+
+from repro.core.tuning import (
+    HotspotTuningState,
+    TuningOutcome,
+    TuningPhase,
+    choose_best,
+    choose_best_robust,
+    make_config_list,
+    median_ipc,
+    verification_says_demote,
+)
+
+
+def outcome(config, ipc, energy=1.0):
+    return TuningOutcome(config, ipc, energy, 1000)
+
+
+class TestConfigList:
+    def test_single_cu(self):
+        assert make_config_list([4]) == [(0,), (1,), (2,), (3,)]
+
+    def test_two_cus_cartesian(self):
+        configs = make_config_list([2, 2])
+        assert configs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_starts_at_all_maximum(self):
+        assert make_config_list([4, 4])[0] == (0, 0)
+
+    def test_prediction_hoisted_after_reference(self):
+        configs = make_config_list([4], predicted_first=(2,))
+        assert configs[0] == (0,)
+        assert configs[1] == (2,)
+        assert len(configs) == 4
+
+    def test_prediction_equal_to_reference(self):
+        configs = make_config_list([4], predicted_first=(0,))
+        assert configs[0] == (0,)
+        assert len(configs) == 4
+
+    def test_unknown_prediction_ignored(self):
+        configs = make_config_list([2], predicted_first=(9,))
+        assert configs == [(0,), (1,)]
+
+
+class TestSelection:
+    def test_choose_best_prefers_lowest_energy_qualifier(self):
+        outcomes = [
+            outcome((0,), ipc=2.0, energy=1.0),
+            outcome((1,), ipc=1.99, energy=0.5),
+            outcome((2,), ipc=1.5, energy=0.1),  # too slow
+        ]
+        best = choose_best(outcomes, 2.0, 0.02)
+        assert best.config == (1,)
+
+    def test_choose_best_empty(self):
+        assert choose_best([], 1.0, 0.02) is None
+
+    def test_choose_best_falls_back_to_fastest(self):
+        outcomes = [outcome((0,), ipc=1.0, energy=1.0)]
+        best = choose_best(outcomes, reference_ipc=99.0,
+                           performance_threshold=0.02)
+        assert best.config == (0,)
+
+    def test_median_ipc(self):
+        outcomes = [outcome((i,), ipc=v) for i, v in
+                    enumerate([1.0, 3.0, 2.0])]
+        assert median_ipc(outcomes) == 2.0
+        outcomes.append(outcome((3,), ipc=4.0))
+        assert median_ipc(outcomes) == 2.5
+
+    def test_robust_selection_rejects_outlier_slow_config(self):
+        outcomes = [
+            outcome((0,), ipc=2.00, energy=1.0),
+            outcome((1,), ipc=2.02, energy=0.6),
+            outcome((2,), ipc=1.99, energy=0.3),
+            outcome((3,), ipc=1.20, energy=0.1),  # thrashing
+        ]
+        best = choose_best_robust(outcomes, 0.02)
+        assert best.config == (2,)
+
+    def test_robust_selection_tolerates_noise(self):
+        # All configs within noise of each other: smallest energy wins.
+        outcomes = [
+            outcome((0,), ipc=2.00, energy=1.0),
+            outcome((1,), ipc=1.97, energy=0.6),
+            outcome((2,), ipc=2.03, energy=0.3),
+            outcome((3,), ipc=1.98, energy=0.1),
+        ]
+        best = choose_best_robust(outcomes, 0.05)
+        assert best.config == (3,)
+
+
+class TestVerificationVerdict:
+    def test_clear_loss_demotes(self):
+        chosen = [1.5, 1.52, 1.48, 1.51, 1.49]
+        maximum = [2.0, 2.02, 1.98, 2.01, 1.99]
+        assert verification_says_demote(chosen, maximum, 0.02)
+
+    def test_noise_within_stderr_tolerated(self):
+        chosen = [1.9, 2.1, 1.95, 2.05, 2.0]
+        maximum = [2.0, 2.05, 1.95, 2.1, 1.95]
+        assert not verification_says_demote(chosen, maximum, 0.02)
+
+    def test_empty_samples_safe(self):
+        assert not verification_says_demote([], [1.0], 0.02)
+
+
+class TestHotspotTuningState:
+    def make(self, n=4):
+        return HotspotTuningState("hs", ("L1D",), make_config_list([n]))
+
+    def test_walks_config_list(self):
+        state = self.make()
+        assert state.current_trial == (0,)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        assert state.current_trial == (1,)
+
+    def test_completes_after_all_configs(self):
+        state = self.make(2)
+        assert not state.record(outcome((0,), 2.0, 1.0), 0.02)
+        assert state.record(outcome((1,), 2.0, 0.5), 0.02)
+        assert state.phase is TuningPhase.CONFIGURED
+        assert state.best.config == (1,)
+        assert state.verify_pending  # A/B check scheduled
+
+    def test_early_exit_on_degradation(self):
+        state = self.make(4)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        done = state.record(outcome((1,), 1.0, 0.5), 0.02)  # -50%
+        assert done
+        assert state.aborted_early
+        assert state.best.config == (0,)
+
+    def test_no_early_exit_on_first_trial(self):
+        state = self.make(4)
+        done = state.record(outcome((0,), 0.5, 1.0), 0.02)
+        assert not done
+
+    def test_reference_ipc_is_first_measurement(self):
+        state = self.make(2)
+        state.record(outcome((0,), 1.7, 1.0), 0.02)
+        assert state.reference_ipc == 1.7
+
+    def test_record_outside_tuning_rejected(self):
+        state = self.make(1)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        with pytest.raises(RuntimeError):
+            state.record(outcome((0,), 2.0, 1.0), 0.02)
+
+    def test_restart_resets_for_retune(self):
+        state = self.make(2)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        state.record(outcome((1,), 2.0, 0.5), 0.02)
+        state.restart()
+        assert state.phase is TuningPhase.TUNING
+        assert state.current_trial == (0,)
+        assert state.tuning_rounds == 2
+        assert state.best is None
+        assert not state.verify_pending
+
+    def test_drift_detection(self):
+        state = self.make(1)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        state.verify_pending = False
+        for _ in range(10):
+            state.observe_configured_ipc(1.0)
+        assert state.drift_exceeds(0.4)
+        assert not state.drift_exceeds(0.9)
+
+    def test_demote_steps_deepest_cu(self):
+        state = HotspotTuningState(
+            "hs", ("L2", "L1D"), make_config_list([4, 4])
+        )
+        for config in state.config_list:
+            if state.phase is not TuningPhase.TUNING:
+                break
+            state.record(outcome(config, 2.0, 1.0), 0.5)
+        state.best = TuningOutcome((1, 3), 2.0, 0.5, 1000)
+        assert state.demote()
+        assert state.best.config == (1, 2)
+        assert state.demotions == 1
+
+    def test_demote_at_maximum_refuses(self):
+        state = self.make(1)
+        state.record(outcome((0,), 2.0, 1.0), 0.02)
+        assert not state.demote()
+
+
+class TestVerificationProtocol:
+    def make_configured(self):
+        state = HotspotTuningState("hs", ("L1D",), make_config_list([2]))
+        state.record(outcome((0,), 2.0, 1.0), 0.5)
+        state.record(outcome((1,), 2.0, 0.5), 0.5)
+        assert state.best.config == (1,)
+        assert state.verify_pending
+        return state
+
+    def test_verification_passes_good_config(self):
+        state = self.make_configured()
+        k = 3
+        for _ in range(k):
+            assert state.verification_target() == (1,)
+            result = state.record_verification(2.0, k, 0.02)
+        assert result == "continue"  # moved to max stage
+        for _ in range(k):
+            assert state.verification_target() == (0,)
+            result = state.record_verification(2.0, k, 0.02)
+        assert result == "verified"
+        assert not state.verify_pending
+        assert state.verify_passes == 1
+
+    def test_verification_demotes_bad_config(self):
+        state = self.make_configured()
+        k = 3
+        for _ in range(k):
+            state.record_verification(1.0, k, 0.02)  # chosen slow
+        result = "continue"
+        for _ in range(k):
+            result = state.record_verification(2.0, k, 0.02)  # max fast
+        assert result == "demoted"
+        assert state.best.config == (0,)
+        # Demoted to maximum: next verification short-circuits.
+        state.record_verification(2.0, k, 0.02)
+        assert not state.verify_pending
+
+    def test_max_choice_skips_comparison(self):
+        state = HotspotTuningState("hs", ("L1D",), make_config_list([2]))
+        state.record(outcome((0,), 2.0, 0.1), 0.5)
+        state.record(outcome((1,), 1.0, 0.5), 0.5)
+        assert state.best.config == (0,)  # max wins on IPC floor
+        result = "continue"
+        for _ in range(3):
+            result = state.record_verification(2.0, 3, 0.02)
+        assert result == "verified"
+        assert state.verify_passes >= 1

@@ -1,0 +1,163 @@
+"""Unit tests for the energy substrate."""
+
+import pytest
+
+from repro.energy.model import (
+    CacheEnergyModel,
+    EnergyModel,
+    PipelineEnergyModel,
+)
+from repro.energy.params import (
+    CacheEnergySpec,
+    DEFAULT_L1D_ENERGY,
+    DEFAULT_L2_ENERGY,
+    EnergyPoint,
+    scaled_energy_table,
+)
+
+KB = 1024
+
+
+class TestEnergyPoint:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyPoint(read_nj=-1, write_nj=0, leak_nj_per_cycle=0)
+
+
+class TestScaling:
+    def test_reference_point_is_identity(self):
+        spec = DEFAULT_L1D_ENERGY
+        point = spec.point(spec.ref_size)
+        assert point.read_nj == pytest.approx(spec.ref.read_nj)
+        assert point.leak_nj_per_cycle == pytest.approx(
+            spec.ref.leak_nj_per_cycle
+        )
+
+    def test_dynamic_scales_sublinearly(self):
+        spec = DEFAULT_L1D_ENERGY
+        half = spec.point(spec.ref_size // 2)
+        # sqrt scaling: half size => ~0.707x dynamic energy
+        assert half.read_nj == pytest.approx(
+            spec.ref.read_nj * 0.5 ** 0.5
+        )
+
+    def test_leakage_scales_linearly(self):
+        spec = DEFAULT_L2_ENERGY
+        eighth = spec.point(spec.ref_size // 8)
+        assert eighth.leak_nj_per_cycle == pytest.approx(
+            spec.ref.leak_nj_per_cycle / 8
+        )
+
+    def test_table_covers_all_sizes(self):
+        sizes = (8 * KB, 4 * KB, 2 * KB, 1 * KB)
+        table = scaled_energy_table(DEFAULT_L1D_ENERGY, sizes)
+        assert set(table) == set(sizes)
+        # Monotone: smaller caches burn less, per access and per cycle.
+        ordered = sorted(sizes)
+        for small, large in zip(ordered, ordered[1:]):
+            assert table[small].read_nj < table[large].read_nj
+            assert (
+                table[small].leak_nj_per_cycle
+                < table[large].leak_nj_per_cycle
+            )
+
+
+def make_model(sizes=(8 * KB, 4 * KB, 2 * KB, 1 * KB)):
+    return CacheEnergyModel("L1D", DEFAULT_L1D_ENERGY, sizes, sizes[0])
+
+
+class TestCacheEnergyModel:
+    def test_access_accounting(self):
+        model = make_model()
+        model.add_accesses(10, 5)
+        point = DEFAULT_L1D_ENERGY.point(8 * KB)
+        expected = 10 * point.read_nj + 5 * point.write_nj
+        assert model.dynamic_nj == pytest.approx(expected)
+
+    def test_cycle_accounting(self):
+        model = make_model()
+        model.add_cycles(1000.0)
+        point = DEFAULT_L1D_ENERGY.point(8 * KB)
+        assert model.leakage_nj == pytest.approx(
+            1000 * point.leak_nj_per_cycle
+        )
+
+    def test_repricing_after_set_size(self):
+        model = make_model()
+        model.set_size(1 * KB)
+        model.add_accesses(10, 0)
+        small = DEFAULT_L1D_ENERGY.point(1 * KB)
+        assert model.dynamic_nj == pytest.approx(10 * small.read_nj)
+
+    def test_reconfig_energy(self):
+        model = make_model()
+        model.add_reconfig_writebacks(7)
+        assert model.reconfig_nj == pytest.approx(
+            7 * DEFAULT_L1D_ENERGY.writeback_line_nj
+        )
+
+    def test_total_and_breakdown(self):
+        model = make_model()
+        model.add_accesses(1, 1)
+        model.add_cycles(10)
+        model.add_reconfig_writebacks(1)
+        breakdown = model.breakdown()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["dynamic"] + breakdown["leakage"]
+            + breakdown["reconfig"]
+        )
+        assert model.total_nj == pytest.approx(breakdown["total"])
+
+    def test_unknown_size_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.set_size(3 * KB)
+
+    def test_bad_initial_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheEnergyModel(
+                "x", DEFAULT_L1D_ENERGY, (8 * KB,), 4 * KB
+            )
+
+
+class TestPipelineEnergyModel:
+    def test_linear_scaling(self):
+        model = PipelineEnergyModel("IQ", 64, nj_per_cycle_full=0.4)
+        model.add_cycles(100)
+        assert model.energy_nj == pytest.approx(40.0)
+        model.set_entries(16)
+        model.add_cycles(100)
+        assert model.energy_nj == pytest.approx(40.0 + 10.0)
+
+
+class TestEnergyModel:
+    def make(self):
+        l1 = make_model()
+        l2 = CacheEnergyModel(
+            "L2", DEFAULT_L2_ENERGY,
+            (128 * KB, 64 * KB), 128 * KB,
+        )
+        return EnergyModel(l1, l2, memory_access_nj=15.0)
+
+    def test_cycles_hit_both_caches(self):
+        energy = self.make()
+        energy.add_cycles(100)
+        assert energy.l1d.leakage_nj > 0
+        assert energy.l2.leakage_nj > 0
+
+    def test_memory_energy(self):
+        energy = self.make()
+        energy.add_memory_accesses(4)
+        assert energy.memory_nj == pytest.approx(60.0)
+
+    def test_cache_model_lookup(self):
+        energy = self.make()
+        assert energy.cache_model("L1D") is energy.l1d
+        assert energy.cache_model("L2") is energy.l2
+        with pytest.raises(KeyError):
+            energy.cache_model("L3")
+
+    def test_totals_keys(self):
+        energy = self.make()
+        totals = energy.totals()
+        assert set(totals) == {"L1D", "L2", "memory"}

@@ -1,0 +1,198 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.program import (
+    AlternatingDecider,
+    CondBranch,
+    Goto,
+    LoopDecider,
+    RandomDecider,
+    Return,
+)
+
+SIMPLE = """
+# a small two-method program
+entry main
+
+method helper {
+    block b0 {
+        insns 8
+        loads 2
+        ret
+    }
+}
+
+method main {
+    region 0x200000 4096
+    attr tier driver
+    block top {
+        insns 12
+        stores 1
+        call helper
+        loop trips=10 exit=done
+    }
+    block done {
+        insns 2
+        ret
+    }
+}
+"""
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        program = assemble(SIMPLE)
+        assert program.entry == "main"
+        assert set(program.methods) == {"helper", "main"}
+        assert program.is_laid_out
+
+    def test_region_and_attr(self):
+        program = assemble(SIMPLE)
+        main = program.methods["main"]
+        assert main.region.base == 0x200000
+        assert main.region.size == 4096
+        assert main.attributes["tier"] == "driver"
+
+    def test_loop_terminator(self):
+        program = assemble(SIMPLE)
+        top = program.methods["main"].blocks["top"]
+        assert isinstance(top.terminator, CondBranch)
+        assert isinstance(top.terminator.decider, LoopDecider)
+        assert top.terminator.decider.trips == 10
+        assert top.terminator.taken == "top"
+        assert top.terminator.fallthrough == "done"
+
+    def test_calls_and_counts(self):
+        program = assemble(SIMPLE)
+        top = program.methods["main"].blocks["top"]
+        assert top.calls[0].callee == "helper"
+        assert top.mix.stores == 1
+
+    def test_entry_defaults_to_first_method(self):
+        program = assemble(
+            "method only {\n block b {\n insns 3\n ret\n }\n}\n"
+        )
+        assert program.entry == "only"
+
+
+class TestTerminatorDirectives:
+    def test_goto(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 2\n goto b\n }\n"
+            " block b {\n insns 1\n ret\n }\n"
+            "}\n"
+        )
+        blocks = assemble(text).methods["m"].blocks
+        assert isinstance(blocks["a"].terminator, Goto)
+        assert isinstance(blocks["b"].terminator, Return)
+
+    def test_probabilistic_branch(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 2\n branch taken=t fall=f p=0.25\n }\n"
+            " block t {\n insns 1\n ret\n }\n"
+            " block f {\n insns 1\n ret\n }\n"
+            "}\n"
+        )
+        term = assemble(text).methods["m"].blocks["a"].terminator
+        assert isinstance(term.decider, RandomDecider)
+        assert term.decider.p_taken == 0.25
+
+    def test_alternating_branch(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 2\n branch taken=t fall=f alt=4\n }\n"
+            " block t {\n insns 1\n ret\n }\n"
+            " block f {\n insns 1\n ret\n }\n"
+            "}\n"
+        )
+        term = assemble(text).methods["m"].blocks["a"].terminator
+        assert isinstance(term.decider, AlternatingDecider)
+        assert term.decider.period == 4
+
+    def test_loop_with_body(self):
+        text = (
+            "method m {\n"
+            " block h {\n insns 2\n loop trips=3 exit=x body=b\n }\n"
+            " block b {\n insns 2\n goto h\n }\n"
+            " block x {\n insns 1\n ret\n }\n"
+            "}\n"
+        )
+        term = assemble(text).methods["m"].blocks["h"].terminator
+        assert term.taken == "b"
+
+
+class TestMemDirectives:
+    def test_workingset(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 6\n loads 2\n"
+            " mem workingset span=2048 locality=0.7\n ret\n }\n"
+            "}\n"
+        )
+        memory = assemble(text).methods["m"].blocks["a"].memory
+        assert memory.span == 2048
+        assert memory.locality == 0.7
+
+    def test_stride(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 6\n loads 2\n"
+            " mem stride span=4096 stride=64\n ret\n }\n"
+            "}\n"
+        )
+        memory = assemble(text).methods["m"].blocks["a"].memory
+        assert memory.stride == 64
+
+    def test_unknown_kind_reports_line(self):
+        text = (
+            "method m {\n"
+            " block a {\n insns 6\n mem bogus span=1\n ret\n }\n"
+            "}\n"
+        )
+        with pytest.raises(AssemblyError) as err:
+            assemble(text)
+        assert err.value.lineno == 4  # the 'mem bogus' line
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, needle",
+        [
+            ("method m {\n block a {\n insns 1\n }\n}\n", "terminator"),
+            ("method m {\n block a {\n insns 1\n ret\n goto b\n }\n}\n",
+             "already has a terminator"),
+            ("method m {\n}\n", "no blocks"),
+            ("junk\n", "unexpected directive"),
+            ("method m {\n block a {\n insns xyz\n ret\n }\n}\n",
+             "expected integer"),
+            ("method m {\n block a {\n insns 1\n loop trips=2\n ret\n }\n}\n",
+             "usage: loop"),
+        ],
+    )
+    def test_malformed_inputs(self, text, needle):
+        with pytest.raises(AssemblyError) as err:
+            assemble(text)
+        assert needle in str(err.value)
+
+    def test_unclosed_method(self):
+        with pytest.raises(AssemblyError):
+            assemble("method m {\n block a {\n insns 1\n ret\n }\n")
+
+    def test_empty_input(self):
+        with pytest.raises(AssemblyError):
+            assemble("")
+
+    def test_semantic_errors_surface_as_validation(self):
+        from repro.isa.program import ProgramValidationError
+
+        text = (
+            "method m {\n"
+            " block a {\n insns 2\n goto missing\n }\n"
+            "}\n"
+        )
+        with pytest.raises(ProgramValidationError):
+            assemble(text)

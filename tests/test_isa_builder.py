@@ -1,0 +1,151 @@
+"""Unit tests for the program/method builders."""
+
+import pytest
+
+from repro.isa.builder import MethodBuilder, ProgramBuilder
+from repro.isa.program import (
+    CondBranch,
+    Goto,
+    ProgramValidationError,
+    RandomDecider,
+    Return,
+)
+from repro.workloads.patterns import StackBehavior
+
+
+class TestMethodBuilder:
+    def test_entry_defaults_to_first_block(self):
+        method = (
+            MethodBuilder("m")
+            .straight("a", 5, "b")
+            .ret("b")
+            .build()
+        )
+        assert method.entry == "a"
+
+    def test_explicit_entry(self):
+        method = (
+            MethodBuilder("m")
+            .ret("end")
+            .straight("start", 5, "end")
+            .entry("start")
+            .build()
+        )
+        assert method.entry == "start"
+
+    def test_region_and_attributes(self):
+        method = (
+            MethodBuilder("m")
+            .region(0x1000, 64)
+            .attribute("tier", "mid")
+            .ret("b0")
+            .build()
+        )
+        assert method.region.base == 0x1000
+        assert method.attributes["tier"] == "mid"
+
+    def test_loop_block_self_edge(self):
+        method = (
+            MethodBuilder("m")
+            .loop("l", 10, 4, "x")
+            .ret("x")
+            .build()
+        )
+        term = method.blocks["l"].terminator
+        assert isinstance(term, CondBranch)
+        assert term.taken == "l"
+        assert term.fallthrough == "x"
+
+    def test_loop_block_explicit_body(self):
+        method = (
+            MethodBuilder("m")
+            .loop("h", 10, 4, "x", body_bid="body")
+            .straight("body", 5, "h")
+            .ret("x")
+            .build()
+        )
+        assert method.blocks["h"].terminator.taken == "body"
+
+    def test_branch_block(self):
+        method = (
+            MethodBuilder("m")
+            .branch("b", 8, RandomDecider(0.3), taken="t", fallthrough="f")
+            .ret("t")
+            .ret("f")
+            .build()
+        )
+        term = method.blocks["b"].terminator
+        assert term.taken == "t" and term.fallthrough == "f"
+
+    def test_memory_and_calls_attached(self):
+        memory = StackBehavior()
+        method = (
+            MethodBuilder("m")
+            .straight("a", 10, "b", loads=2, memory=memory, calls=["f"])
+            .ret("b")
+            .build()
+        )
+        a = method.blocks["a"]
+        assert a.memory is memory
+        assert a.calls[0].callee == "f"
+        assert a.mix.loads == 2
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            MethodBuilder("m").build()
+
+    def test_done_requires_program_context(self):
+        builder = MethodBuilder("m").ret("b0")
+        with pytest.raises(RuntimeError):
+            builder.done()
+
+
+class TestProgramBuilder:
+    def test_build_validates_and_lays_out(self):
+        program = (
+            ProgramBuilder(entry="main")
+            .method("main").ret("b0").done()
+            .build()
+        )
+        assert program.is_laid_out
+        assert program.entry == "main"
+
+    def test_fluent_multi_method(self):
+        program = (
+            ProgramBuilder(entry="main")
+            .method("helper").ret("b0").done()
+            .method("main")
+            .straight("a", 5, "b", calls=["helper"])
+            .ret("b")
+            .done()
+            .build()
+        )
+        assert set(program.methods) == {"helper", "main"}
+
+    def test_invalid_program_raises_on_build(self):
+        builder = (
+            ProgramBuilder(entry="main")
+            .method("main")
+            .straight("a", 5, "a")  # no return reachable
+            .done()
+        )
+        with pytest.raises(ProgramValidationError):
+            builder.build()
+
+    def test_custom_base_address(self):
+        program = (
+            ProgramBuilder(entry="m")
+            .method("m").ret("b0").done()
+            .build(base=0x40_0000)
+        )
+        assert program.methods["m"].blocks["b0"].base_pc == 0x40_0000
+
+    def test_goto_terminator_type(self):
+        program = (
+            ProgramBuilder(entry="m")
+            .method("m").straight("a", 3, "b").ret("b").done()
+            .build()
+        )
+        blocks = program.methods["m"].blocks
+        assert isinstance(blocks["a"].terminator, Goto)
+        assert isinstance(blocks["b"].terminator, Return)

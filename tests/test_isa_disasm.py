@@ -1,0 +1,82 @@
+"""Disassembler round-trip tests."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_method, disassemble_program
+from repro.workloads.specjvm import build_benchmark
+
+SOURCE = """
+entry main
+
+method helper {
+    block b0 {
+        insns 8
+        loads 2
+        stores 1
+        ret
+    }
+}
+
+method main {
+    region 0x200000 4096
+    block top {
+        insns 12
+        call helper
+        loop trips=10 exit=done
+    }
+    block alt {
+        insns 4
+        branch taken=top fall=done alt=3
+    }
+    block done {
+        insns 2
+        ret
+    }
+}
+"""
+
+
+def structural_signature(program):
+    out = []
+    for method in program.methods.values():
+        for block in method.blocks.values():
+            out.append(
+                (
+                    method.name,
+                    block.bid,
+                    block.n_instructions,
+                    block.mix.loads,
+                    block.mix.stores,
+                    tuple(c.callee for c in block.calls),
+                    tuple(block.successors()),
+                )
+            )
+    return out
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_reassemble(self):
+        original = assemble(SOURCE)
+        text = disassemble_program(original)
+        again = assemble(text)
+        assert structural_signature(original) == structural_signature(again)
+        assert again.entry == original.entry
+
+    def test_benchmark_programs_disassemble(self):
+        built = build_benchmark("db")
+        text = disassemble_program(built.program)
+        assert "method main" in text
+        assert "driver0" in text
+        # memory behaviours appear as comments
+        assert "# mem" in text
+
+    def test_listing_mode_includes_instructions(self):
+        program = assemble(SOURCE)
+        text = disassemble_method(
+            program.methods["helper"], listing=True
+        )
+        assert "load" in text
+
+    def test_unreachable_branch_decider_renders_with_note(self):
+        program = assemble(SOURCE)
+        alt = disassemble_method(program.methods["main"])
+        assert "alt=3" in alt

@@ -1,0 +1,114 @@
+"""Unit tests for the instruction layer."""
+
+import pytest
+
+from repro.isa.instructions import (
+    DEFAULT_COMPUTE_MIX,
+    Instruction,
+    InstructionMix,
+    Opcode,
+    synthesize_instructions,
+)
+
+
+class TestOpcode:
+    def test_memory_classification(self):
+        assert Opcode.LOAD.is_memory
+        assert Opcode.STORE.is_memory
+        assert not Opcode.ALU.is_memory
+
+    def test_control_classification(self):
+        for op in (Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RET):
+            assert op.is_control
+        assert not Opcode.LOAD.is_control
+        assert not Opcode.FPALU.is_control
+
+
+class TestInstruction:
+    def test_with_pc_preserves_fields(self):
+        instr = Instruction(Opcode.LOAD, ("r1", "r2"))
+        placed = instr.with_pc(0x1000)
+        assert placed.pc == 0x1000
+        assert placed.opcode is Opcode.LOAD
+        assert placed.operands == ("r1", "r2")
+        assert instr.pc is None  # original untouched (frozen)
+
+    def test_str_with_and_without_pc(self):
+        bare = Instruction(Opcode.ALU)
+        assert str(bare) == "alu"
+        placed = Instruction(Opcode.LOAD, ("r1",), pc=0x10)
+        assert "0x" in str(placed)
+        assert "load r1" in str(placed)
+
+
+class TestInstructionMix:
+    def test_derived_counts(self):
+        mix = InstructionMix(total=20, loads=4, stores=2, branches=1)
+        assert mix.non_compute == 7
+        assert mix.compute == 13
+        assert mix.memory_refs == 6
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            InstructionMix(total=-1)
+
+    def test_rejects_negative_loads(self):
+        with pytest.raises(ValueError):
+            InstructionMix(total=10, loads=-2)
+
+    def test_rejects_overfull_block(self):
+        with pytest.raises(ValueError):
+            InstructionMix(total=3, loads=2, stores=2)
+
+    def test_zero_block_is_legal(self):
+        mix = InstructionMix(total=0)
+        assert mix.compute == 0
+
+
+class TestSynthesize:
+    def test_total_count_matches(self):
+        mix = InstructionMix(total=37, loads=5, stores=3, branches=1, calls=1)
+        listing = synthesize_instructions(mix)
+        assert len(listing) == 37
+
+    def test_category_counts_match(self):
+        mix = InstructionMix(total=50, loads=7, stores=4, branches=1, calls=2)
+        listing = synthesize_instructions(mix)
+        by_op = {}
+        for instr in listing:
+            by_op[instr.opcode] = by_op.get(instr.opcode, 0) + 1
+        assert by_op[Opcode.LOAD] == 7
+        assert by_op[Opcode.STORE] == 4
+        assert by_op[Opcode.BRANCH] == 1
+        assert by_op[Opcode.CALL] == 2
+
+    def test_compute_apportionment_sums_exactly(self):
+        mix = InstructionMix(total=100, loads=10, stores=5, branches=1)
+        listing = synthesize_instructions(mix)
+        compute_ops = {op for op, _ in DEFAULT_COMPUTE_MIX}
+        n_compute = sum(1 for i in listing if i.opcode in compute_ops)
+        assert n_compute == mix.compute
+
+    def test_memory_interleaved_not_clustered(self):
+        mix = InstructionMix(total=60, loads=10, branches=1)
+        listing = synthesize_instructions(mix)
+        load_positions = [
+            i for i, ins in enumerate(listing)
+            if ins.opcode is Opcode.LOAD
+        ]
+        # Loads should span the body, not sit in one run at the start.
+        assert load_positions[-1] - load_positions[0] > len(listing) // 3
+
+    def test_branch_is_last(self):
+        mix = InstructionMix(total=12, loads=2, branches=1)
+        listing = synthesize_instructions(mix)
+        assert listing[-1].opcode is Opcode.BRANCH
+
+    def test_pure_memory_block(self):
+        mix = InstructionMix(total=4, loads=2, stores=2)
+        listing = synthesize_instructions(mix)
+        assert len(listing) == 4
+        assert all(i.opcode.is_memory for i in listing)
+
+    def test_empty_block(self):
+        assert synthesize_instructions(InstructionMix(total=0)) == []

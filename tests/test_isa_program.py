@@ -1,0 +1,272 @@
+"""Unit tests for program structure, deciders, validation and layout."""
+
+import random
+
+import pytest
+
+from repro.isa.instructions import InstructionMix
+from repro.isa.program import (
+    AlternatingDecider,
+    BasicBlock,
+    CallSite,
+    CondBranch,
+    DataRegion,
+    Goto,
+    INSTRUCTION_BYTES,
+    LoopDecider,
+    Method,
+    PeriodicDecider,
+    PersistentAlternatingDecider,
+    Program,
+    ProgramValidationError,
+    RandomDecider,
+    Return,
+)
+
+
+def block(bid, term, insns=10, calls=()):
+    return BasicBlock(
+        bid, InstructionMix(total=insns), term,
+        calls=[CallSite(c) for c in calls],
+    )
+
+
+def simple_method(name="m", calls=()):
+    return Method(
+        name,
+        [block("b0", Goto("b1"), calls=calls), block("b1", Return())],
+        "b0",
+    )
+
+
+class TestDataRegion:
+    def test_bounds(self):
+        region = DataRegion(0x1000, 256)
+        assert region.end == 0x1100
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            DataRegion(0, 0)
+        with pytest.raises(ValueError):
+            DataRegion(-1, 16)
+
+
+class TestDeciders:
+    def test_loop_decider_fixed_trips(self):
+        decider = LoopDecider(4)
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        outcomes = []
+        for _ in range(8):
+            taken, state = decider.decide(state, rng)
+            outcomes.append(taken)
+        # 3 taken (back edges), then fall-through, then re-armed.
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_loop_decider_trips_of_one_never_loops(self):
+        decider = LoopDecider(1)
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        for _ in range(5):
+            taken, state = decider.decide(state, rng)
+            assert taken is False
+
+    def test_loop_decider_callable_trips_clamped(self):
+        decider = LoopDecider(lambda rng: -3)
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        assert state == 1  # clamped to >= 1
+
+    def test_loop_decider_rejects_zero(self):
+        with pytest.raises(ValueError):
+            LoopDecider(0)
+
+    def test_random_decider_bias(self):
+        decider = RandomDecider(0.8)
+        rng = random.Random(7)
+        state = decider.initial_state(rng)
+        taken = 0
+        for _ in range(2000):
+            outcome, state = decider.decide(state, rng)
+            taken += outcome
+        assert 1500 < taken < 1900
+
+    def test_random_decider_bounds(self):
+        with pytest.raises(ValueError):
+            RandomDecider(1.5)
+
+    def test_alternating_decider_period(self):
+        decider = AlternatingDecider(3)
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        outcomes = []
+        for _ in range(12):
+            taken, state = decider.decide(state, rng)
+            outcomes.append(taken)
+        assert outcomes == [True] * 3 + [False] * 3 + [True] * 3 + [False] * 3
+
+    def test_periodic_decider_pattern(self):
+        decider = PeriodicDecider([True, False, False])
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        outcomes = []
+        for _ in range(6):
+            taken, state = decider.decide(state, rng)
+            outcomes.append(taken)
+        assert outcomes == [True, False, False, True, False, False]
+
+    def test_periodic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PeriodicDecider([])
+
+    def test_persistence_flags(self):
+        assert not AlternatingDecider(2).persistent
+        assert PersistentAlternatingDecider(2).persistent
+        assert not LoopDecider(3).persistent
+
+
+class TestBasicBlock:
+    def test_branch_count_derived_from_terminator(self):
+        b = block("b0", Goto("b1"), insns=10)
+        assert b.mix.branches == 1
+        r = block("r", Return(), insns=10)
+        assert r.mix.branches == 0
+
+    def test_call_count_derived(self):
+        b = block("b0", Goto("b1"), calls=["f", "g"])
+        assert b.mix.calls == 2
+
+    def test_total_grows_to_fit_derived_instructions(self):
+        b = BasicBlock(
+            "b0",
+            InstructionMix(total=1),
+            Goto("b1"),
+            calls=[CallSite("f")],
+        )
+        assert b.n_instructions >= 2  # call + branch
+
+    def test_successors(self):
+        cond = BasicBlock(
+            "c", InstructionMix(total=4),
+            CondBranch("t", "f", RandomDecider(0.5)),
+        )
+        assert cond.successors() == ["t", "f"]
+        assert block("g", Goto("x")).successors() == ["x"]
+        assert block("r", Return()).successors() == []
+
+    def test_rejects_empty_bid(self):
+        with pytest.raises(ValueError):
+            block("", Return())
+
+
+class TestMethodValidation:
+    def test_unknown_target_rejected(self):
+        method = Method("m", [block("b0", Goto("nope")),
+                              block("b1", Return())], "b0")
+        with pytest.raises(ProgramValidationError):
+            method.validate()
+
+    def test_no_return_rejected(self):
+        method = Method(
+            "m",
+            [block("b0", Goto("b1")), block("b1", Goto("b0"))],
+            "b0",
+        )
+        with pytest.raises(ProgramValidationError):
+            method.validate()
+
+    def test_block_unable_to_reach_return_rejected(self):
+        blocks = [
+            block("b0", Goto("b1")),
+            block("b1", Return()),
+            block("spin", Goto("spin")),
+        ]
+        method = Method("m", blocks, "b0")
+        with pytest.raises(ProgramValidationError) as err:
+            method.validate()
+        assert "spin" in str(err.value)
+
+    def test_duplicate_block_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Method("m", [block("b0", Return()), block("b0", Return())], "b0")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Method("m", [block("b0", Return())], "zzz")
+
+    def test_callees_deduplicated_in_order(self):
+        blocks = [
+            block("b0", Goto("b1"), calls=["f", "g"]),
+            block("b1", Return(), calls=["f"]),
+        ]
+        method = Method("m", blocks, "b0")
+        assert method.callees() == ["f", "g"]
+
+
+class TestProgramValidation:
+    def test_unknown_callee_rejected(self):
+        program = Program([simple_method("main", calls=["ghost"])], "main")
+        with pytest.raises(ProgramValidationError):
+            program.validate()
+
+    def test_recursion_rejected(self):
+        a = simple_method("a", calls=["b"])
+        b = simple_method("b", calls=["a"])
+        with pytest.raises(ProgramValidationError):
+            Program([a, b], "a").validate()
+
+    def test_self_recursion_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Program([simple_method("a", calls=["a"])], "a").validate()
+
+    def test_diamond_call_graph_accepted(self):
+        a = simple_method("a", calls=["b"])
+        b = Method(
+            "b",
+            [block("b0", Goto("b1"), calls=["c", "d"]),
+             block("b1", Return())],
+            "b0",
+        )
+        c = simple_method("c", calls=["d"])
+        d = simple_method("d")
+        Program([a, b, c, d], "a").validate()
+
+    def test_missing_entry_method(self):
+        with pytest.raises(ProgramValidationError):
+            Program([simple_method("m")], "other")
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Program([simple_method("m"), simple_method("m")], "m")
+
+
+class TestLayout:
+    def test_pcs_assigned_sequentially(self):
+        program = Program([simple_method("m")], "m").validated()
+        b0 = program.methods["m"].blocks["b0"]
+        b1 = program.methods["m"].blocks["b1"]
+        assert b0.base_pc == Program.CODE_BASE
+        assert b1.base_pc == b0.base_pc + b0.n_instructions * INSTRUCTION_BYTES
+        assert b0.branch_pc == (
+            b0.base_pc + (b0.n_instructions - 1) * INSTRUCTION_BYTES
+        )
+
+    def test_listing_gets_pcs_after_layout(self):
+        program = Program([simple_method("m")], "m").validated()
+        listing = program.methods["m"].blocks["b0"].instructions()
+        assert listing[0].pc == Program.CODE_BASE
+        assert all(ins.pc is not None for ins in listing)
+
+    def test_code_footprint(self):
+        method = simple_method("m")
+        assert method.code_footprint == (
+            method.static_instruction_count * INSTRUCTION_BYTES
+        )
+
+    def test_validated_is_fluent(self):
+        program = Program([simple_method("m")], "m")
+        assert program.validated() is program
+        assert program.is_laid_out

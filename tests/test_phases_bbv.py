@@ -1,0 +1,151 @@
+"""Unit tests for BBV accumulation and phase classification."""
+
+import pytest
+
+from repro.phases.bbv import (
+    BBVAccumulator,
+    BBVConfig,
+    manhattan_distance,
+    normalize,
+)
+from repro.phases.classifier import PhaseClassifier
+
+
+class TestManhattan:
+    def test_distance(self):
+        assert manhattan_distance([1, 2], [3, 0]) == 4
+        assert manhattan_distance([0.5, 0.5], [0.5, 0.5]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            manhattan_distance([1], [1, 2])
+
+    def test_normalize(self):
+        assert normalize([2, 2]) == (0.5, 0.5)
+        assert normalize([0, 0]) == (0.0, 0.0)
+
+    def test_normalized_distance_bounded_by_two(self):
+        a = normalize([10, 0, 0])
+        b = normalize([0, 0, 10])
+        assert manhattan_distance(a, b) == pytest.approx(2.0)
+
+
+class TestAccumulator:
+    def test_observe_buckets_by_pc(self):
+        acc = BBVAccumulator(n_buckets=4, counter_bits=24)
+        acc.observe(0x0, 10)   # bucket 0
+        acc.observe(0x4, 5)    # bucket 1
+        acc.observe(0x10, 3)   # bucket 0 (wraps: (0x10>>2)%4 == 0)
+        assert acc.peek() == (13, 5, 0, 0)
+
+    def test_harvest_clears(self):
+        acc = BBVAccumulator(n_buckets=4)
+        acc.observe(0x0, 7)
+        vector = acc.harvest()
+        assert vector[0] == 7
+        assert acc.peek() == (0, 0, 0, 0)
+
+    def test_saturation(self):
+        acc = BBVAccumulator(n_buckets=2, counter_bits=4)
+        acc.observe(0x0, 100)
+        assert acc.peek()[0] == 15
+        assert acc.saturations == 1
+
+    def test_paper_geometry(self):
+        config = BBVConfig()
+        acc = BBVAccumulator(config.n_buckets, config.counter_bits)
+        assert acc.n_buckets == 32
+        assert acc.counter_max == (1 << 24) - 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BBVAccumulator(n_buckets=0)
+
+
+def vec(*hot_buckets, n=8, mass=1000):
+    v = [0] * n
+    for b in hot_buckets:
+        v[b] = mass
+    return tuple(v)
+
+
+class TestClassifier:
+    def make(self, threshold=0.35):
+        return PhaseClassifier(
+            similarity_threshold=threshold, stable_min_intervals=2
+        )
+
+    def test_first_vector_creates_phase(self):
+        classifier = self.make()
+        pid, is_new, run = classifier.classify(vec(0))
+        assert is_new and pid == 0 and run == 1
+
+    def test_same_vector_recurs(self):
+        classifier = self.make()
+        classifier.classify(vec(0))
+        pid, is_new, run = classifier.classify(vec(0))
+        assert not is_new and pid == 0 and run == 2
+
+    def test_distinct_vector_new_phase(self):
+        classifier = self.make()
+        classifier.classify(vec(0))
+        pid, is_new, _ = classifier.classify(vec(5))
+        assert is_new and pid == 1
+
+    def test_recurring_phase_recognised_after_gap(self):
+        classifier = self.make()
+        a, _, _ = classifier.classify(vec(0))
+        classifier.classify(vec(5))
+        pid, is_new, run = classifier.classify(vec(0))
+        assert pid == a and not is_new and run == 1
+
+    def test_stability_accounting(self):
+        classifier = self.make()
+        for v in (vec(0), vec(0), vec(0), vec(5), vec(0), vec(0)):
+            classifier.classify(v)
+        classifier.flush()
+        stats = classifier.occurrence_stats
+        assert stats.stable_intervals == 5       # runs of 3 and 2
+        assert stats.transitional_intervals == 1  # the lone vec(5)
+        assert stats.occurrences == 3
+        assert stats.stable_occurrences == 2
+        assert stats.stable_fraction == pytest.approx(5 / 6)
+
+    def test_signature_ewma_tracks_drift(self):
+        classifier = self.make(threshold=0.6)
+        classifier.classify(vec(0))
+        # Slowly mix in bucket 1; EWMA keeps it the same phase.
+        for weight in (200, 400, 600):
+            v = list(vec(0))
+            v[1] = weight
+            pid, is_new, _ = classifier.classify(tuple(v))
+            assert not is_new
+
+    def test_interval_ipc_covs(self):
+        classifier = self.make()
+        pid0, _, _ = classifier.classify(vec(0))
+        classifier.note_interval_ipc(pid0, 2.0)
+        classifier.classify(vec(0))
+        classifier.note_interval_ipc(pid0, 2.2)
+        pid1, _, _ = classifier.classify(vec(5))
+        classifier.note_interval_ipc(pid1, 1.0)
+        classifier.classify(vec(5))
+        classifier.note_interval_ipc(pid1, 1.1)
+        assert classifier.per_phase_ipc_cov() > 0
+        assert classifier.inter_phase_ipc_cov() > (
+            classifier.per_phase_ipc_cov()
+        )
+
+    def test_flush_idempotent(self):
+        classifier = self.make()
+        classifier.classify(vec(0))
+        classifier.flush()
+        before = classifier.occurrence_stats.occurrences
+        classifier.flush()
+        assert classifier.occurrence_stats.occurrences == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseClassifier(similarity_threshold=0)
+        with pytest.raises(ValueError):
+            PhaseClassifier(stable_min_intervals=0)

@@ -1,0 +1,132 @@
+"""Tests for the BBV tuner entries and the BBV ACE policy end to end."""
+
+import pytest
+
+from repro.core.tuning import TuningOutcome
+from repro.phases.policy import BBVACEPolicy
+from repro.phases.tuner import (
+    PhaseTuningEntry,
+    combinatorial_config_list,
+)
+from repro.sim.config import MachineConfig, build_machine
+from repro.vm.vm import VMConfig, VirtualMachine
+from tests.conftest import make_two_tier_program
+
+
+def outcome(config, ipc, energy=1.0):
+    return TuningOutcome(config, ipc, energy, 10_000)
+
+
+class TestCombinatorialList:
+    def test_full_product(self):
+        configs = combinatorial_config_list([4, 4])
+        assert len(configs) == 16
+        assert configs[0] == (0, 0)
+        assert configs[-1] == (3, 3)
+        assert len(set(configs)) == 16
+
+    def test_last_cu_varies_fastest(self):
+        configs = combinatorial_config_list([2, 3])
+        assert configs[:3] == [(0, 0), (0, 1), (0, 2)]
+
+
+class TestPhaseTuningEntry:
+    def make(self, counts=(2, 2)):
+        return PhaseTuningEntry(0, ("L2", "L1D"), counts)
+
+    def test_tests_all_configurations(self):
+        entry = self.make()
+        n = len(entry.config_list)
+        for i in range(n - 1):
+            assert not entry.record(
+                outcome(entry.current_trial, 2.0, 1.0 / (i + 1)), 0.02
+            )
+        assert entry.record(outcome(entry.current_trial, 2.0, 0.01), 0.02)
+        assert entry.tuned
+        assert entry.current_trial is None
+
+    def test_no_early_exit_even_on_terrible_config(self):
+        entry = self.make()
+        entry.record(outcome((0, 0), 2.0), 0.02)
+        entry.record(outcome((0, 1), 0.2), 0.02)  # terrible
+        assert not entry.tuned  # BBV tests all combinations (Table 1)
+
+    def test_resume_after_interruption(self):
+        entry = self.make()
+        entry.record(outcome((0, 0), 2.0), 0.02)
+        # "Phase disappears" — nothing recorded for a while — then
+        # resumes from the next untested configuration.
+        assert entry.current_trial == (0, 1)
+
+    def test_record_after_completion_rejected(self):
+        entry = PhaseTuningEntry(0, ("L1D",), (1,))
+        entry.record(outcome((0,), 2.0), 0.02)
+        with pytest.raises(RuntimeError):
+            entry.record(outcome((0,), 2.0), 0.02)
+
+    def test_verification_scheduled_on_completion(self):
+        entry = PhaseTuningEntry(0, ("L1D",), (2,))
+        entry.record(outcome((0,), 2.0, 1.0), 0.5)
+        entry.record(outcome((1,), 2.0, 0.5), 0.5)
+        assert entry.tuned
+        assert entry.verify_pending
+        assert entry.verification_target() == (1,)
+
+    def test_demote(self):
+        entry = PhaseTuningEntry(0, ("L1D",), (3,))
+        for c in entry.config_list:
+            entry.record(outcome(c, 2.0, 1.0), 0.9)
+        entry.best = TuningOutcome((2,), 2.0, 0.1, 100)
+        assert entry.demote()
+        assert entry.best.config == (1,)
+
+
+class TestBBVPolicyEndToEnd:
+    def run_policy(self, max_instructions=800_000):
+        machine = build_machine(MachineConfig())
+        policy = BBVACEPolicy()
+        vm = VirtualMachine(
+            make_two_tier_program(), machine,
+            policy=policy, config=VMConfig(hot_threshold=3),
+        )
+        vm.run(max_instructions)
+        return vm, policy
+
+    def test_cu_order_slowest_first(self):
+        _, policy = self.run_policy(max_instructions=50_000)
+        assert policy.cu_names == ("L2", "L1D")
+
+    def test_sampling_interval_matches_slowest_cu(self):
+        _, policy = self.run_policy(max_instructions=50_000)
+        assert policy.sampling_interval == 10_000
+
+    def test_phases_detected(self):
+        _, policy = self.run_policy()
+        stats = policy.finalize()
+        assert stats.n_phases >= 1
+        assert stats.intervals_total >= 70
+
+    def test_homogeneous_program_tunes_its_phase(self):
+        # One driver looping forever: a single dominant stable phase with
+        # plenty of intervals to finish all 16 + warm-up trials.
+        _, policy = self.run_policy(max_instructions=1_200_000)
+        stats = policy.finalize()
+        assert stats.tuned_phases >= 1
+        assert stats.tuned_interval_fraction > 0.3
+
+    def test_trial_accounting(self):
+        _, policy = self.run_policy(max_instructions=1_200_000)
+        stats = policy.finalize()
+        assert stats.tunings["L1D"] >= 3
+        assert stats.tunings["L2"] >= 3
+
+    def test_stable_fraction_high_for_steady_program(self):
+        _, policy = self.run_policy()
+        stats = policy.finalize()
+        assert stats.occurrence_stats.stable_fraction > 0.8
+
+    def test_coverage_bounded(self):
+        _, policy = self.run_policy(max_instructions=1_200_000)
+        stats = policy.finalize()
+        for value in stats.coverage.values():
+            assert 0.0 <= value <= 1.0

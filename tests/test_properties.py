@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuning import (
+    TuningOutcome,
+    choose_best_robust,
+    make_config_list,
+)
+from repro.isa.program import LoopDecider
+from repro.phases.bbv import BBVAccumulator, manhattan_distance, normalize
+from repro.trace.stream import IntervalSplitter
+from repro.uarch.cache import Cache
+from repro.uarch.registers import ReconfigurationGuard
+from repro.workloads.patterns import MixedBehavior, StackBehavior
+from repro.workloads.synthetic import random_program
+
+KB = 1024
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 24), min_size=0, max_size=60
+)
+
+
+class TestCacheProperties:
+    @given(loads=addresses, stores=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, loads, stores):
+        cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        cache.access_many(loads, stores)
+        assert cache.resident_lines <= cache.n_lines
+        for s in cache._sets:
+            assert len(s) <= cache.associativity
+
+    @given(loads=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_access_is_resident(self, loads):
+        cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        for addr in loads:
+            cache.access(addr)
+            assert cache.contains(addr)
+
+    @given(
+        loads=addresses,
+        sizes=st.lists(
+            st.sampled_from([8 * KB, 4 * KB, 2 * KB, 1 * KB]),
+            min_size=1, max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resize_sequence_keeps_lookups_consistent(self, loads, sizes):
+        cache = Cache(
+            "c", 8 * KB, 64, 2, sizes=(8 * KB, 4 * KB, 2 * KB, 1 * KB)
+        )
+        cache.access_many(loads, ())
+        for size in sizes:
+            cache.resize(size)
+            # Every line the cache claims to hold must be a hit when
+            # accessed (no stale placements after remapping).
+            for addr in loads:
+                if cache.contains(addr):
+                    assert cache.access(addr)
+            assert cache.resident_lines <= cache.n_lines
+
+    @given(loads=addresses, stores=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_consistency(self, loads, stores):
+        cache = Cache("c", 2 * KB, 64, 2, sizes=(2 * KB,))
+        result = cache.access_many(loads, stores)
+        assert result.accesses == len(loads) + len(stores)
+        assert (
+            result.read_hits + result.read_misses == len(loads)
+        )
+        assert len(result.miss_lines) == result.misses
+
+    @given(stores=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_flush_returns_exactly_dirty_lines(self, stores):
+        cache = Cache("c", 2 * KB, 64, 2, sizes=(2 * KB,))
+        cache.access_many((), stores)
+        dirty_count = cache.dirty_lines
+        flushed = cache.flush()
+        assert len(flushed) == dirty_count
+        assert cache.resident_lines == 0
+
+
+class TestIntervalSplitterProperties:
+    @given(
+        steps=st.lists(
+            st.integers(min_value=1, max_value=500),
+            min_size=1, max_size=60,
+        ),
+        interval=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_intervals_partition_the_stream(self, steps, interval):
+        emitted = []
+        splitter = IntervalSplitter(
+            interval, lambda i, n: emitted.append(n)
+        )
+        for step in steps:
+            splitter.advance(step)
+        splitter.flush()
+        assert sum(emitted) == sum(steps)
+        # All but the final (partial) interval are exactly full.
+        for n in emitted[:-1]:
+            assert n == interval
+
+    @given(
+        steps=st.lists(
+            st.integers(min_value=1, max_value=100),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_indices_are_sequential(self, steps):
+        indices = []
+        splitter = IntervalSplitter(17, lambda i, n: indices.append(i))
+        for step in steps:
+            splitter.advance(step)
+        assert indices == list(range(len(indices)))
+
+
+class TestGuardProperties:
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1, max_size=40,
+        ),
+        interval=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_granted_requests_respect_interval(self, times, interval):
+        guard = ReconfigurationGuard()
+        guard.register("cu", interval)
+        granted_at = []
+        for t in sorted(times):
+            if guard.request("cu", t):
+                granted_at.append(t)
+        for a, b in zip(granted_at, granted_at[1:]):
+            assert b - a >= interval
+
+
+class TestBBVProperties:
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 20),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mass_conserved_up_to_saturation(self, observations):
+        acc = BBVAccumulator(n_buckets=8, counter_bits=24)
+        for pc, n in observations:
+            acc.observe(pc, n)
+        if not acc.saturations:
+            assert sum(acc.peek()) == sum(n for _, n in observations)
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=1000),
+                   min_size=4, max_size=4),
+        b=st.lists(st.integers(min_value=0, max_value=1000),
+                   min_size=4, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_distance_bounds(self, a, b):
+        distance = manhattan_distance(normalize(a), normalize(b))
+        assert -1e-9 <= distance <= 2.0 + 1e-9
+
+    @given(
+        v=st.lists(st.integers(min_value=0, max_value=1000),
+                   min_size=1, max_size=16)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_unit_mass(self, v):
+        total = sum(normalize(v))
+        if sum(v) > 0:
+            assert abs(total - 1.0) < 1e-9
+        else:
+            assert total == 0.0
+
+
+class TestTuningProperties:
+    @given(counts=st.lists(st.integers(min_value=1, max_value=4),
+                           min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_config_list_is_exactly_the_product(self, counts):
+        configs = make_config_list(counts)
+        expected = 1
+        for n in counts:
+            expected *= n
+        assert len(configs) == expected
+        assert len(set(configs)) == expected
+        assert configs[0] == tuple([0] * len(counts))
+
+    @given(
+        ipcs=st.lists(
+            st.floats(min_value=0.1, max_value=4.0),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_choose_best_robust_never_picks_deep_loser(self, ipcs):
+        outcomes = [
+            TuningOutcome((i,), ipc, 1.0 / (i + 1), 1000)
+            for i, ipc in enumerate(ipcs)
+        ]
+        best = choose_best_robust(outcomes, 0.02)
+        assert best is not None
+        ordered = sorted(ipcs)
+        median = (
+            ordered[len(ordered) // 2]
+            if len(ordered) % 2
+            else 0.5 * (ordered[len(ordered) // 2 - 1]
+                        + ordered[len(ordered) // 2])
+        )
+        # The selected config is never more than the threshold below the
+        # median (unless nothing qualifies at all, in which case it is
+        # the fastest).
+        fastest = max(ipcs)
+        assert (
+            best.ipc >= median * 0.98 - 1e-9 or best.ipc == fastest
+        )
+
+
+class TestWorkloadProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.05, max_value=5.0),
+            min_size=1, max_size=4,
+        ),
+        n_loads=st.integers(min_value=0, max_value=50),
+        n_stores=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_behavior_conserves_counts(
+        self, weights, n_loads, n_stores
+    ):
+        behavior = MixedBehavior(
+            [(StackBehavior(), w) for w in weights]
+        )
+        rng = random.Random(1)
+        loads, stores = behavior.generate(
+            rng, 0x1000, 0x2000, 0, n_loads, n_stores
+        )
+        assert len(loads) == n_loads
+        assert len(stores) == n_stores
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_programs_always_validate(self, seed):
+        program = random_program(seed)
+        assert program.is_laid_out
+
+    @given(
+        trips=st.integers(min_value=1, max_value=30),
+        draws=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loop_decider_taken_run_lengths(self, trips, draws):
+        decider = LoopDecider(trips)
+        rng = random.Random(0)
+        state = decider.initial_state(rng)
+        run = 0
+        for _ in range(draws):
+            taken, state = decider.decide(state, rng)
+            if taken:
+                run += 1
+                assert run <= trips - 1
+            else:
+                run = 0

@@ -1,0 +1,137 @@
+"""Tests for rendering and the exhibit builders."""
+
+import pytest
+
+from repro.report.exhibits import (
+    figure1,
+    figure3,
+    figure4,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.report.figures import render_bar_chart, render_grouped_bars
+from repro.report.paper import BENCHMARK_ORDER, PAPER, per_benchmark
+from repro.report.tables import render_kv_table, render_table
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    """A 2-benchmark suite at a small budget, shared across tests."""
+    config = ExperimentConfig(max_instructions=400_000)
+    return run_suite(["db", "javac"], config)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_kv_table(self):
+        text = render_kv_table({"k": "v"})
+        assert "k" in text and "v" in text
+
+    def test_number_formatting(self):
+        text = render_table(["n"], [[1234567], [0.5]])
+        assert "1,234,567" in text
+        assert "0.50" in text
+
+
+class TestFigures:
+    def test_bar_chart(self):
+        text = render_bar_chart({"a": 0.5, "b": 1.0}, title="F")
+        assert "#" in text
+        assert "100.0%" in text
+
+    def test_grouped_bars(self):
+        text = render_grouped_bars(
+            ["g1", "g2"], {"x": [0.1, 0.2], "y": [0.3, 0.4]}
+        )
+        assert "g1:" in text and "g2:" in text
+
+    def test_grouped_bars_length_check(self):
+        with pytest.raises(ValueError):
+            render_grouped_bars(["g1"], {"x": [0.1, 0.2]})
+
+
+class TestPaperValues:
+    def test_per_benchmark_mapping(self):
+        mapping = per_benchmark([1, 2, 3, 4, 5, 6, 7])
+        assert mapping["compress"] == 1
+        assert mapping["mtrt"] == 7
+        with pytest.raises(ValueError):
+            per_benchmark([1, 2])
+
+    def test_headline_numbers_present(self):
+        assert PAPER["figure3"]["avg_l1d_reduction"]["hotspot"] == 0.47
+        assert PAPER["figure4"]["avg"]["bbv"] == 0.0187
+        assert len(BENCHMARK_ORDER) == 7
+
+
+class TestStaticExhibits:
+    def test_table2_renders(self):
+        exhibit = table2()
+        assert "L1 D-cache" in exhibit.rendered
+        assert "8KB/4KB/2KB/1KB" in exhibit.rendered
+
+    def test_table3_covers_all_benchmarks(self):
+        exhibit = table3()
+        for name in BENCHMARK_ORDER:
+            assert name in exhibit.rendered
+
+
+class TestSuiteExhibits:
+    def test_figure1(self, tiny_suite):
+        exhibit = figure1(tiny_suite)
+        assert "stable" in exhibit.rendered
+        assert 0 <= exhibit.data["stable"]["db"] <= 1
+        assert exhibit.data["stable"]["avg"] == pytest.approx(
+            (exhibit.data["stable"]["db"]
+             + exhibit.data["stable"]["javac"]) / 2
+        )
+
+    def test_table1(self, tiny_suite):
+        exhibit = table1(tiny_suite)
+        assert exhibit.data["avg_hotspot_trials"] >= 0
+        assert "hot_threshold" in exhibit.rendered
+
+    def test_table4(self, tiny_suite):
+        exhibit = table4(tiny_suite)
+        counts = exhibit.data["number of hotspots"]
+        assert counts["db"] > 0
+        assert exhibit.data["% of code in hotspots"]["db"] > 50
+
+    def test_table5(self, tiny_suite):
+        exhibit = table5(tiny_suite)
+        hot = exhibit.data["hotspot"]
+        assert hot["total managed hotspots"]["db"] >= 1
+        bbv = exhibit.data["bbv"]
+        assert bbv["number of phases"]["db"] >= 1
+
+    def test_table6(self, tiny_suite):
+        exhibit = table6(tiny_suite)
+        assert exhibit.data["hotspot L1D tunings"]["db"] >= 0
+        assert "BBV L1D tunings" in exhibit.rendered
+
+    def test_figure3(self, tiny_suite):
+        exhibit = figure3(tiny_suite)
+        assert "L1D" in exhibit.data and "L2" in exhibit.data
+        assert "avg" in exhibit.data["L1D"]["hotspot"]
+
+    def test_figure4(self, tiny_suite):
+        exhibit = figure4(tiny_suite)
+        assert set(exhibit.data) == {"bbv", "hotspot"}
+        assert "Figure 4" in exhibit.rendered

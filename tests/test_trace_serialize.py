@@ -1,0 +1,100 @@
+"""Tests for JSONL trace capture/replay."""
+
+import io
+
+from repro.trace.events import BlockEvent
+from repro.trace.serialize import (
+    capture_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    read_trace,
+    save_trace,
+    write_trace,
+)
+from repro.trace.stream import replay
+from repro.uarch.cache import Cache
+
+
+def make_event(**overrides):
+    base = dict(
+        method="m", bid="b", n_insns=12, loads=[0x100, 0x140],
+        stores=[0x200], branch_pc=0x4000, taken=True,
+        serialized=True, thread_id=1, block_pc=0x4000,
+    )
+    base.update(overrides)
+    return BlockEvent(
+        base["method"], base["bid"], base["n_insns"], base["loads"],
+        base["stores"], base["branch_pc"], base["taken"],
+        serialized=base["serialized"], thread_id=base["thread_id"],
+        block_pc=base["block_pc"],
+    )
+
+
+def events_equal(a: BlockEvent, b: BlockEvent) -> bool:
+    return all(
+        getattr(a, slot) == getattr(b, slot) for slot in BlockEvent.__slots__
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        event = make_event()
+        again = event_from_dict(event_to_dict(event))
+        assert events_equal(event, again)
+
+    def test_unconditional_event(self):
+        event = make_event(branch_pc=None, taken=True, serialized=False)
+        again = event_from_dict(event_to_dict(event))
+        assert again.branch_pc is None
+        assert events_equal(event, again)
+
+    def test_stream_round_trip(self):
+        events = [make_event(n_insns=i) for i in range(1, 6)]
+        buffer = io.StringIO()
+        assert write_trace(events, buffer) == 5
+        buffer.seek(0)
+        loaded = list(read_trace(buffer))
+        assert len(loaded) == 5
+        for original, again in zip(events, loaded):
+            assert events_equal(original, again)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        events = [make_event(), make_event(bid="other")]
+        assert save_trace(events, path) == 2
+        loaded = load_trace(path)
+        assert loaded[1].bid == "other"
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO("\n\n")
+        assert list(read_trace(buffer)) == []
+
+
+class TestCapture:
+    def test_capture_benchmark_trace(self):
+        recorder = capture_trace("db", max_instructions=50_000)
+        assert recorder.stats.instructions >= 50_000
+        assert len(recorder) > 100
+
+    def test_captured_trace_replays_identically(self):
+        recorder = capture_trace("db", max_instructions=50_000)
+
+        def run_cache():
+            cache = Cache("c", 2048, 64, 2, sizes=(2048,))
+            replay(
+                recorder.events,
+                lambda e: cache.access_many(e.loads, e.stores),
+            )
+            return cache.stats.snapshot()
+
+        assert run_cache() == run_cache()
+
+    def test_capture_custom_program(self):
+        from tests.conftest import make_loop_program
+
+        recorder = capture_trace(
+            make_loop_program(), max_instructions=20_000
+        )
+        methods = {e.method for e in recorder}
+        assert "work" in methods

@@ -1,0 +1,190 @@
+"""Unit tests for the resizable cache model."""
+
+import pytest
+
+from repro.uarch.cache import Cache
+
+KB = 1024
+
+
+def make_cache(size=8 * KB, sizes=None):
+    return Cache(
+        "L1D", size, line_size=64, associativity=2,
+        sizes=sizes or (8 * KB, 4 * KB, 2 * KB, 1 * KB),
+    )
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(8 * KB)
+        assert cache.n_sets == 8 * KB // (64 * 2)
+        assert cache.n_lines == cache.n_sets * 2
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            Cache("c", 1024, line_size=96, associativity=2)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Cache("c", 1024, line_size=64, associativity=2,
+                  sizes=(1024, 768))
+
+    def test_rejects_size_not_in_list(self):
+        with pytest.raises(ValueError):
+            Cache("c", 512, line_size=64, associativity=2, sizes=(1024,))
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1004) is True  # same line
+
+    def test_distinct_lines_miss_separately(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1040) is False  # next 64B line
+
+    def test_store_marks_dirty(self):
+        cache = make_cache()
+        cache.access(0x1000, is_store=True)
+        assert cache.is_dirty(0x1000)
+        cache.access(0x2000)
+        assert not cache.is_dirty(0x2000)
+
+    def test_load_hit_preserves_dirty_bit(self):
+        cache = make_cache()
+        cache.access(0x1000, is_store=True)
+        cache.access(0x1000)  # load hit must not clear dirty
+        assert cache.is_dirty(0x1000)
+
+    def test_write_allocate(self):
+        cache = make_cache()
+        result = cache.access_many((), (0x3000,))
+        assert result.write_misses == 1
+        assert cache.contains(0x3000)
+
+    def test_lru_eviction_order(self):
+        cache = make_cache()
+        n_sets = cache.n_sets
+        # Three lines mapping to the same set of a 2-way cache.
+        a, b, c = (0x10000 + i * n_sets * 64 for i in range(3))
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # touch a: b becomes LRU
+        cache.access(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = make_cache()
+        n_sets = cache.n_sets
+        a, b, c = (0x10000 + i * n_sets * 64 for i in range(3))
+        cache.access(a, is_store=True)
+        cache.access(b)
+        result = cache.access_many((c,), ())
+        assert result.writeback_lines == [a & ~63]
+
+    def test_access_many_counts(self):
+        cache = make_cache()
+        loads = [0x1000, 0x1040, 0x1000]
+        stores = [0x2000]
+        result = cache.access_many(loads, stores)
+        assert result.read_hits == 1
+        assert result.read_misses == 2
+        assert result.write_misses == 1
+        assert result.accesses == 4
+        assert len(result.miss_lines) == 3
+
+    def test_stats_accumulate(self):
+        cache = make_cache()
+        cache.access_many([0x1000] * 5, [0x1000])
+        stats = cache.stats
+        assert stats.read_accesses == 5
+        assert stats.read_misses == 1
+        assert stats.write_accesses == 1
+        assert stats.miss_rate == pytest.approx(1 / 6)
+
+
+class TestFlush:
+    def test_flush_returns_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0x1000, is_store=True)
+        cache.access(0x2000)
+        dirty = cache.flush()
+        assert dirty == [0x1000 & ~63]
+        assert cache.resident_lines == 0
+
+    def test_flush_counts_stats(self):
+        cache = make_cache()
+        cache.access(0x1000, is_store=True)
+        cache.flush()
+        assert cache.stats.flushes == 1
+        assert cache.stats.flushed_dirty_lines == 1
+
+
+class TestResize:
+    def test_resize_to_same_size_is_noop(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.resize(8 * KB) == []
+        assert cache.contains(0x1000)
+
+    def test_shrink_keeps_surviving_sets(self):
+        cache = make_cache(8 * KB)
+        # Line in set 0 survives a shrink; set index stays 0.
+        cache.access(0x0)
+        cache.resize(1 * KB)
+        assert cache.size == 1 * KB
+        assert cache.contains(0x0)
+
+    def test_shrink_flushes_disabled_sets(self):
+        cache = make_cache(8 * KB)
+        new_sets = 1 * KB // (64 * 2)
+        # Address mapping to a set beyond the shrunk range.
+        addr = new_sets * 64  # set index == new_sets under old geometry
+        cache.access(addr, is_store=True)
+        dirty = cache.resize(1 * KB)
+        assert dirty == [addr & ~63]
+        assert not cache.contains(addr)
+
+    def test_grow_keeps_lines_with_matching_index(self):
+        cache = make_cache(1 * KB, sizes=(8 * KB, 1 * KB))
+        cache.access(0x0)  # line 0: index 0 under any mask
+        cache.resize(8 * KB)
+        assert cache.contains(0x0)
+
+    def test_grow_drops_lines_whose_index_widens(self):
+        cache = make_cache(1 * KB, sizes=(8 * KB, 1 * KB))
+        small_sets = cache.n_sets
+        # This line maps to set 0 in the small cache but to a different
+        # set once the mask widens.
+        addr = small_sets * 64
+        cache.access(addr, is_store=True)
+        dirty = cache.resize(8 * KB)
+        assert (addr & ~63) in dirty
+        assert not cache.contains(addr)
+
+    def test_no_stale_reachability_after_any_resize(self):
+        cache = make_cache(8 * KB)
+        addrs = [i * 64 for i in range(256)]
+        cache.access_many(addrs, ())
+        for size in (2 * KB, 8 * KB, 1 * KB, 4 * KB):
+            cache.resize(size)
+            # Every resident line must be found where lookups search it.
+            for addr in addrs:
+                if cache.contains(addr):
+                    assert cache.access(addr) is True
+
+    def test_capacity_respected_after_shrink(self):
+        cache = make_cache(8 * KB)
+        cache.access_many([i * 64 for i in range(200)], ())
+        cache.resize(1 * KB)
+        assert cache.resident_lines <= cache.n_lines
+
+    def test_resize_to_unknown_size_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.resize(3 * KB)

@@ -1,0 +1,128 @@
+"""Exhaustive unit coverage of the A/B verification state machine."""
+
+import pytest
+
+from repro.core.tuning import (
+    HotspotTuningState,
+    TuningOutcome,
+    make_config_list,
+)
+
+
+def outcome(config, ipc, energy=1.0):
+    return TuningOutcome(config, ipc, energy, 1000)
+
+
+def configured_state(best_index=1, n=4):
+    state = HotspotTuningState("hs", ("L1D",), make_config_list([n]))
+    # Drive tuning to completion with the target config cheapest.
+    for i in range(n):
+        if state.phase.value != "tuning":
+            break
+        energy = 0.1 if i == best_index else 1.0
+        state.record(outcome((i,), 2.0, energy), 0.5)
+    assert state.best.config == (best_index,)
+    return state
+
+
+class TestVerificationStages:
+    def test_stage_progression(self):
+        state = configured_state()
+        k = 2
+        assert state.verify_stage == "chosen"
+        state.record_verification(2.0, k, 0.02)
+        assert state.verify_stage == "chosen"
+        state.record_verification(2.0, k, 0.02)
+        assert state.verify_stage == "max"
+        assert state.verification_target() == (0,)
+
+    def test_targets_by_stage(self):
+        state = configured_state(best_index=2)
+        assert state.verification_target() == (2,)
+        state.verify_stage = "max"
+        assert state.verification_target() == (0,)
+
+    def test_not_pending_short_circuits(self):
+        state = configured_state()
+        state.verify_pending = False
+        assert state.record_verification(2.0, 2, 0.02) == "verified"
+
+    def test_demotion_resets_cycle(self):
+        state = configured_state(best_index=3)
+        k = 2
+        for _ in range(k):
+            state.record_verification(1.0, k, 0.02)  # chosen slow
+        result = None
+        for _ in range(k):
+            result = state.record_verification(2.0, k, 0.02)
+        assert result == "demoted"
+        assert state.best.config == (2,)
+        assert state.verify_pending
+        assert state.verify_stage == "chosen"
+        assert state.verify_samples == {"chosen": [], "max": []}
+        assert state.verify_passes == 0
+
+    def test_repeated_demotion_reaches_maximum(self):
+        state = configured_state(best_index=3)
+        k = 1
+        for _ in range(8):  # 3 demotions x 2 stages + final short-circuit
+            if not state.verify_pending:
+                break
+            stage = state.verify_stage
+            ipc = 1.0 if stage == "chosen" else 2.0
+            state.record_verification(ipc, k, 0.02)
+        assert state.best.config == (0,)
+        assert not state.verify_pending
+        assert state.demotions == 3
+
+    def test_pass_increments_counter(self):
+        state = configured_state()
+        k = 1
+        state.record_verification(2.0, k, 0.02)
+        result = state.record_verification(2.0, k, 0.02)
+        assert result == "verified"
+        assert state.verify_passes == 1
+
+    def test_noise_tolerance_via_stderr(self):
+        # Chosen loses by 3% but with high variance: tolerated.
+        state = configured_state()
+        k = 4
+        for ipc in (1.90, 2.10, 1.95, 2.02):
+            state.record_verification(ipc, k, 0.02)
+        result = None
+        for ipc in (2.05, 2.00, 2.12, 1.98):
+            result = state.record_verification(ipc, k, 0.02)
+        assert result == "verified"
+
+    def test_clear_loss_with_low_variance_demotes(self):
+        state = configured_state()
+        k = 4
+        for ipc in (1.80, 1.81, 1.79, 1.80):
+            state.record_verification(ipc, k, 0.02)
+        result = None
+        for ipc in (2.00, 2.01, 1.99, 2.00):
+            result = state.record_verification(ipc, k, 0.02)
+        assert result == "demoted"
+
+
+class TestRestartInteraction:
+    def test_restart_cancels_verification(self):
+        state = configured_state()
+        assert state.verify_pending
+        state.restart()
+        assert not state.verify_pending
+        assert state.verify_passes == 0
+        assert state.phase.value == "tuning"
+
+    def test_retuning_after_verification_pass(self):
+        state = configured_state()
+        k = 1
+        state.record_verification(2.0, k, 0.02)
+        state.record_verification(2.0, k, 0.02)
+        assert not state.verify_pending
+        # Drift path: observe degraded steady-state IPC.
+        for _ in range(40):
+            state.observe_configured_ipc(0.5)
+        assert state.drift_exceeds(0.4)
+        state.restart()
+        assert state.current_trial == (0,)

@@ -1,0 +1,234 @@
+"""Interpreter/VM execution tests: control flow, calls, hooks, threads."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.sim.config import MachineConfig, build_machine
+from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
+from repro.workloads.patterns import StridedBehavior
+from tests.conftest import make_loop_program, make_two_tier_program
+
+
+def run_vm(program, policy=None, max_instructions=50_000,
+           config=None, thread_entries=None):
+    machine = build_machine(MachineConfig())
+    vm = VirtualMachine(
+        program, machine,
+        policy=policy,
+        config=config or VMConfig(hot_threshold=3),
+        thread_entries=thread_entries,
+    )
+    vm.run(max_instructions)
+    return vm
+
+
+class RecordingPolicy(AdaptationHooks):
+    name = "recording"
+
+    def __init__(self):
+        self.blocks = []
+        self.detected = []
+
+    def on_block(self, event, machine):
+        self.blocks.append(event)
+
+    def on_hotspot_detected(self, hotspot, vm):
+        self.detected.append(hotspot.name)
+
+
+class TestExecutionBasics:
+    def test_instruction_budget_respected(self):
+        vm = run_vm(make_loop_program(), max_instructions=20_000)
+        # Budget may overshoot by at most a quantum of blocks.
+        assert 20_000 <= vm.machine.instructions < 25_000
+
+    def test_finite_program_terminates(self):
+        program = make_loop_program(outer_trips=3)
+        vm = run_vm(program, max_instructions=10_000_000)
+        assert vm.threads[0].finished
+        # 3 outer iterations -> exactly 3 invocations of work.
+        assert vm.database.profile("work").invocations == 3
+
+    def test_loop_trip_counts_honoured(self):
+        program = make_loop_program(trips=7, outer_trips=2)
+        policy = RecordingPolicy()
+        vm = run_vm(program, policy, max_instructions=10_000_000)
+        loop_blocks = [
+            e for e in policy.blocks
+            if e.method == "work" and e.bid == "loop"
+        ]
+        assert len(loop_blocks) == 7 * 2
+
+    def test_branch_events_have_pcs(self):
+        policy = RecordingPolicy()
+        run_vm(make_loop_program(), policy, max_instructions=5_000)
+        conditionals = [e for e in policy.blocks if e.branch_pc is not None]
+        assert conditionals
+        assert all(e.block_pc for e in policy.blocks)
+
+    def test_run_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            vm = run_vm(make_loop_program(), max_instructions=30_000)
+            results.append(
+                (vm.machine.instructions, vm.machine.cycles,
+                 vm.machine.energy.l1d.total_nj)
+            )
+        assert results[0] == results[1]
+
+    def test_different_seeds_produce_different_addresses(self):
+        streams = []
+        for seed in (1, 2):
+            policy = RecordingPolicy()
+            run_vm(
+                make_loop_program(), policy, max_instructions=5_000,
+                config=VMConfig(seed=seed),
+            )
+            streams.append(
+                [tuple(e.loads) for e in policy.blocks if e.loads][:20]
+            )
+        assert streams[0] != streams[1]
+
+    def test_requires_laid_out_program(self):
+        from repro.isa.program import Program
+        from tests.test_isa_program import simple_method
+
+        raw = Program([simple_method("m")], "m")  # not validated()
+        machine = build_machine(MachineConfig())
+        with pytest.raises(ValueError):
+            VirtualMachine(raw, machine)
+
+    def test_rejects_unknown_thread_entry(self):
+        machine = build_machine(MachineConfig())
+        with pytest.raises(ValueError):
+            VirtualMachine(
+                make_loop_program(), machine, thread_entries=["ghost"]
+            )
+
+    def test_rejects_bad_budget(self):
+        vm = run_vm(make_loop_program(), max_instructions=1_000)
+        with pytest.raises(ValueError):
+            vm.run(0)
+
+
+class TestDOServices:
+    def test_hotspot_detection_fires(self):
+        policy = RecordingPolicy()
+        vm = run_vm(make_loop_program(), policy, max_instructions=50_000)
+        assert "work" in policy.detected
+        assert "work" in vm.hotspots
+        # main is invoked once and never turns hot.
+        assert "main" not in vm.hotspots
+
+    def test_methods_baseline_compiled_on_first_touch(self):
+        vm = run_vm(make_loop_program(), max_instructions=10_000)
+        assert "work" in vm.jit.levels
+        assert "main" in vm.jit.levels
+
+    def test_hotspots_recompiled(self):
+        vm = run_vm(make_loop_program(), max_instructions=50_000)
+        from repro.vm.jit import OptimizationLevel
+
+        assert vm.jit.level_of("work") == OptimizationLevel.O2
+
+    def test_entry_exit_stubs_invoked(self):
+        calls = {"entry": 0, "exit": 0}
+
+        class StubPolicy(AdaptationHooks):
+            def on_hotspot_detected(self, hotspot, vm):
+                from repro.vm.jit import EntryStub
+
+                vm.jit.patch_entry(
+                    hotspot.name,
+                    EntryStub("t", lambda *a: calls.__setitem__(
+                        "entry", calls["entry"] + 1)),
+                )
+                vm.jit.patch_exit(
+                    hotspot.name,
+                    EntryStub("p", lambda *a: calls.__setitem__(
+                        "exit", calls["exit"] + 1)),
+                )
+
+        run_vm(make_loop_program(), StubPolicy(), max_instructions=60_000)
+        assert calls["entry"] > 0
+        assert abs(calls["entry"] - calls["exit"]) <= 1  # one in flight
+
+    def test_inclusive_size_measured(self):
+        vm = run_vm(make_two_tier_program(), max_instructions=120_000)
+        mid = vm.database.profile("mid")
+        driver = vm.database.profile("driver")
+        assert mid.completed_invocations > 0
+        assert driver.mean_size > mid.mean_size  # inclusive nesting
+
+    def test_hotspot_coverage_counted(self):
+        vm = run_vm(make_loop_program(), max_instructions=100_000)
+        assert vm.stats.instructions_in_hotspots > 0
+        assert (
+            vm.stats.instructions_in_hotspots
+            <= vm.machine.instructions
+        )
+
+    def test_sampler_attributes_samples(self):
+        vm = run_vm(make_loop_program(), max_instructions=100_000)
+        assert vm.sampler.total_samples > 0
+        assert "work" in vm.sampler.samples
+
+
+class TestThreads:
+    def test_two_threads_interleave(self):
+        program = make_loop_program()
+        policy = RecordingPolicy()
+        vm = run_vm(
+            program, policy, max_instructions=120_000,
+            config=VMConfig(hot_threshold=3, quantum_blocks=50),
+            thread_entries=["main", "main"],
+        )
+        tids = {e.thread_id for e in policy.blocks}
+        assert tids == {0, 1}
+        assert vm.stats.thread_instructions[0] > 0
+        assert vm.stats.thread_instructions[1] > 0
+
+    def test_threads_have_independent_streams(self):
+        program = make_loop_program()
+        vm = run_vm(
+            program, max_instructions=60_000,
+            thread_entries=["main", "main"],
+            config=VMConfig(quantum_blocks=50),
+        )
+        # Both threads invoke work; invocation counts roughly double the
+        # single-thread case for the same budget split between them.
+        assert vm.database.profile("work").invocations > 2
+
+
+class TestGCService:
+    def test_gc_invoked_periodically(self):
+        builder = ProgramBuilder(entry="main")
+        gc = builder.method("gc_sweep")
+        gc.region(0x6000_0000, 4096)
+        gc.loop(
+            "l", 20, 10, "x", loads=4,
+            memory=StridedBehavior(4096, stride=128),
+        )
+        gc.ret("x")
+        gc.done()
+        work = builder.method("work")
+        work.loop("l", 30, 10, "x", loads=3)
+        work.ret("x")
+        work.done()
+        main = builder.method("main")
+        main.loop("top", 3, 10_000, "end", calls=["work"])
+        main.ret("end")
+        main.done()
+        program = builder.build()
+
+        vm = run_vm(
+            program,
+            max_instructions=100_000,
+            config=VMConfig(
+                hot_threshold=3,
+                gc_method="gc_sweep",
+                gc_period_instructions=20_000,
+            ),
+        )
+        assert vm.stats.gc_invocations >= 3
+        assert vm.database.profile("gc_sweep").invocations >= 3

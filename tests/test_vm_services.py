@@ -1,0 +1,157 @@
+"""Unit tests for VM services: hotspot detection, JIT, sampler."""
+
+import pytest
+
+from repro.isa.program import Method
+from repro.vm.hotspot import DODatabase, HotspotDetector, MethodProfile
+from repro.vm.jit import (
+    CompileEvent,
+    EntryStub,
+    JITCompiler,
+    OptimizationLevel,
+)
+from repro.vm.sampler import SamplingProfiler
+from tests.conftest import make_loop_program
+
+
+class TestMethodProfile:
+    def test_size_ewma_converges(self):
+        profile = MethodProfile("m")
+        for _ in range(50):
+            profile.record_completion(1000)
+        assert profile.mean_size == pytest.approx(1000, rel=0.01)
+
+    def test_first_completion_seeds_mean(self):
+        profile = MethodProfile("m")
+        profile.record_completion(500)
+        assert profile.mean_size == 500
+
+    def test_pre_hot_instructions_stop_at_promotion(self):
+        profile = MethodProfile("m")
+        profile.record_completion(100)
+        profile.record_completion(100)
+        profile.is_hot = True
+        profile.record_completion(100)
+        assert profile.pre_hot_instructions == 200
+
+
+class TestHotspotDetector:
+    def test_promotion_at_threshold_with_completed_invocation(self):
+        db = DODatabase()
+        detector = HotspotDetector(db, hot_threshold=3)
+        assert detector.on_invocation("m", 0) is None
+        db.profile("m").record_completion(100)
+        assert detector.on_invocation("m", 100) is None
+        db.profile("m").record_completion(100)
+        info = detector.on_invocation("m", 200)
+        assert info is not None
+        assert info.name == "m"
+        assert info.size_at_detection == pytest.approx(100)
+        assert "m" in db.hotspots
+
+    def test_no_promotion_without_completed_invocation(self):
+        db = DODatabase()
+        detector = HotspotDetector(db, hot_threshold=2)
+        detector.on_invocation("m", 0)
+        # Second invocation, but the first never completed.
+        assert detector.on_invocation("m", 50) is None
+
+    def test_recurring_hotspot_counts_invocations(self):
+        db = DODatabase()
+        detector = HotspotDetector(db, hot_threshold=1)
+        db.profile("m").record_completion(10)
+        # threshold 1 requires a completed invocation first
+        info = detector.on_invocation("m", 10)
+        assert info is not None
+        detector.on_invocation("m", 20)
+        detector.on_invocation("m", 30)
+        assert db.hotspots["m"].invocations_since_hot == 3
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            HotspotDetector(DODatabase(), 0)
+
+
+class TestJITCompiler:
+    def make_method(self) -> Method:
+        return make_loop_program().methods["work"]
+
+    def test_baseline_once(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        cost = jit.ensure_baseline(method, 0)
+        assert cost > 0
+        assert jit.ensure_baseline(method, 10) == 0.0
+        assert jit.level_of(method.name) == OptimizationLevel.BASELINE
+
+    def test_optimize_hotspot_goes_to_top_level(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        jit.ensure_baseline(method, 0)
+        cost = jit.optimize_hotspot(method, 100)
+        assert cost > 0
+        assert jit.level_of(method.name) == OptimizationLevel.O2
+
+    def test_no_downgrade(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        jit.optimize_hotspot(method, 0)
+        assert jit.compile(method, OptimizationLevel.O1, 10) == 0.0
+
+    def test_compile_log(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        jit.ensure_baseline(method, 5)
+        assert len(jit.compile_log) == 1
+        entry = jit.compile_log[0]
+        assert isinstance(entry, CompileEvent)
+        assert entry.at_instructions == 5
+
+    def test_optimized_cost_exceeds_baseline(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        baseline = jit.ensure_baseline(method, 0)
+        optimized = jit.optimize_hotspot(method, 0)
+        assert optimized > baseline
+
+    def test_stub_patching(self):
+        jit = JITCompiler()
+        stub = EntryStub("tuning", lambda *a: None)
+        jit.patch_entry("m", stub)
+        assert jit.entry_stub("m") is stub
+        jit.patch_entry("m", None)
+        assert jit.entry_stub("m") is None
+        jit.patch_exit("m", stub)
+        assert jit.exit_stub("m") is stub
+
+    def test_code_quality_ordering(self):
+        jit = JITCompiler()
+        method = self.make_method()
+        baseline_quality = jit.code_quality(method.name)
+        jit.optimize_hotspot(method, 0)
+        assert jit.code_quality(method.name) > baseline_quality
+
+
+class TestSamplingProfiler:
+    def test_samples_on_period(self):
+        sampler = SamplingProfiler(sample_period_cycles=100)
+        assert sampler.advance(99, "a") == 0
+        assert sampler.advance(100, "a") == 1
+        assert sampler.samples["a"] == 1
+
+    def test_multiple_periods_in_one_step(self):
+        sampler = SamplingProfiler(sample_period_cycles=10)
+        assert sampler.advance(35, "m") == 3
+        assert sampler.total_samples == 3
+
+    def test_hottest_ranking(self):
+        sampler = SamplingProfiler(sample_period_cycles=1)
+        sampler.advance(5, "a")
+        sampler.advance(7, "b")
+        ranked = sampler.hottest(2)
+        assert ranked[0][0] == "a"  # 5 samples vs 2
+        assert sampler.sample_share("a") == pytest.approx(5 / 7)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(0)

@@ -1,0 +1,212 @@
+"""Tests for workload templates and the SPECjvm98 stand-in generators."""
+
+import random
+
+import pytest
+
+from repro.isa.program import CondBranch
+from repro.workloads.specjvm import (
+    BENCHMARK_NAMES,
+    SPECJVM_DESCRIPTIONS,
+    benchmark_spec,
+    build_benchmark,
+    build_suite,
+)
+from repro.workloads.synthetic import random_program
+from repro.workloads.templates import (
+    driver_method,
+    jittered_trips,
+    leaf_method,
+    loop_method,
+    phased_driver_method,
+)
+
+
+class TestTemplates:
+    def test_jittered_trips_distribution(self):
+        draw = jittered_trips(100, jitter=0.1)
+        rng = random.Random(3)
+        samples = [draw(rng) for _ in range(500)]
+        assert all(s >= 1 for s in samples)
+        assert 90 < sum(samples) / len(samples) < 110
+        assert len(set(samples)) > 5
+
+    def test_jittered_trips_zero_jitter_is_constant(self):
+        draw = jittered_trips(10, jitter=0)
+        rng = random.Random(0)
+        assert {draw(rng) for _ in range(10)} == {10}
+
+    def test_leaf_method_shape(self):
+        method = leaf_method("leaf", 40, loads=3)
+        assert method.static_instruction_count >= 40
+        method.validate()
+
+    def test_loop_method_shape(self):
+        method = loop_method(
+            "m", trips=5, body_insns=20, loads=4, stores=1,
+            memory=None, callees=["f"],
+        )
+        assert set(method.blocks) == {"e", "loop", "x"}
+        assert method.blocks["loop"].calls[0].callee == "f"
+
+    def test_driver_method_single_mid(self):
+        method = driver_method(
+            "d", trips=5, body_insns=20, loads=4, stores=1,
+            memory=None, mids=["m0"],
+        )
+        assert "s0" not in method.blocks
+        assert method.blocks["c0"].calls[0].callee == "m0"
+        method.validate()
+
+    def test_driver_method_multi_mid_selection_chain(self):
+        method = driver_method(
+            "d", trips=5, body_insns=20, loads=4, stores=1,
+            memory=None, mids=["m0", "m1", "m2"],
+        )
+        assert {"s0", "s1", "c0", "c1", "c2"} <= set(method.blocks)
+        assert isinstance(method.blocks["s0"].terminator, CondBranch)
+        method.validate()
+
+    def test_driver_requires_mids(self):
+        with pytest.raises(ValueError):
+            driver_method(
+                "d", trips=5, body_insns=10, loads=0, stores=0,
+                memory=None, mids=[],
+            )
+
+    def test_phased_driver_script(self):
+        method = phased_driver_method(
+            "main", [("a", 3), ("b", 1)], outer_trips=10
+        )
+        assert {"seg0", "seg1", "wrap", "end"} <= set(method.blocks)
+        assert method.blocks["seg0"].calls[0].callee == "a"
+        assert method.blocks["wrap"].terminator.taken == "seg0"
+
+    def test_phased_driver_rejects_bad_script(self):
+        with pytest.raises(ValueError):
+            phased_driver_method("main", [])
+        with pytest.raises(ValueError):
+            phased_driver_method("main", [("a", 0)])
+
+
+class TestBenchmarkSpecs:
+    def test_all_seven_defined(self):
+        assert len(BENCHMARK_NAMES) == 7
+        assert set(SPECJVM_DESCRIPTIONS) == set(BENCHMARK_NAMES)
+
+    def test_spec_lookup(self):
+        spec = benchmark_spec("db")
+        assert spec.name == "db"
+        assert spec.short_name == "db"
+        assert benchmark_spec("compress").short_name == "comp"
+
+    def test_unknown_spec_rejected_with_guidance(self):
+        with pytest.raises(KeyError) as err:
+            benchmark_spec("spec2017")
+        assert "known" in str(err.value)
+
+    def test_mtrt_is_dual_threaded(self):
+        assert benchmark_spec("mtrt").threads == 2
+
+    def test_javac_has_gc(self):
+        assert benchmark_spec("javac").gc
+
+
+class TestBuildBenchmark:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_builds_and_validates(self, name):
+        built = build_benchmark(name)
+        assert built.program.is_laid_out
+        spec = built.spec
+        tiers = [s.kind for s in built.library.specs]
+        assert tiers.count("driver") == spec.n_drivers
+        assert tiers.count("mid") == spec.n_mids
+        assert tiers.count("leaf") == spec.n_leaves
+
+    def test_thread_entries_match_spec(self):
+        single = build_benchmark("db")
+        assert single.thread_entries == ("main",)
+        dual = build_benchmark("mtrt")
+        assert dual.thread_entries == ("worker0", "worker1")
+
+    def test_gc_method_present_when_configured(self):
+        javac = build_benchmark("javac")
+        assert "gc_sweep" in javac.program.methods
+        db = build_benchmark("db")
+        assert "gc_sweep" not in db.program.methods
+
+    def test_deterministic_generation(self):
+        a = build_benchmark("jess")
+        b = build_benchmark("jess")
+        assert (
+            [s.target_size for s in a.library.specs]
+            == [s.target_size for s in b.library.specs]
+        )
+
+    def test_seed_override_changes_structure(self):
+        a = build_benchmark("jess")
+        b = build_benchmark("jess", seed_override=999)
+        assert (
+            [s.target_size for s in a.library.specs]
+            != [s.target_size for s in b.library.specs]
+        )
+
+    def test_drivers_call_distinct_mids(self):
+        built = build_benchmark("jack")
+        called = set()
+        for spec in built.library.specs:
+            if spec.kind == "driver":
+                called.update(spec.callees)
+        mids = {
+            s.name for s in built.library.specs if s.kind == "mid"
+        }
+        # The rotation deals distinct mids to drivers; with more mids
+        # than driver slots, the remainder is cold code (as real
+        # programs have).
+        assert called <= mids
+        assert len(called) >= built.spec.n_drivers
+
+    def test_mid_sizes_target_l1d_band(self):
+        built = build_benchmark("db")
+        for spec in built.library.specs:
+            if spec.kind == "mid":
+                assert 400 <= spec.target_size <= 6_000
+
+    def test_driver_sizes_target_l2_band(self):
+        built = build_benchmark("db")
+        for spec in built.library.specs:
+            if spec.kind == "driver":
+                assert spec.target_size >= 4_000
+
+    def test_regions_do_not_overlap(self):
+        built = build_benchmark("javac")
+        regions = sorted(
+            (m.region.base, m.region.end)
+            for m in built.program.methods.values()
+            if m.region is not None
+        )
+        for (b1, e1), (b2, e2) in zip(regions, regions[1:]):
+            assert e1 <= b2
+
+    def test_build_suite_subset(self):
+        suite = build_suite(["db", "mtrt"])
+        assert [b.name for b in suite] == ["db", "mtrt"]
+
+
+class TestSyntheticPrograms:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_programs_valid(self, seed):
+        program = random_program(seed)
+        assert program.is_laid_out
+        assert program.entry == "m0"
+
+    def test_random_programs_terminate(self):
+        from repro.sim.config import MachineConfig, build_machine
+        from repro.vm.vm import VMConfig, VirtualMachine
+
+        for seed in range(5):
+            program = random_program(seed)
+            machine = build_machine(MachineConfig())
+            vm = VirtualMachine(program, machine, config=VMConfig())
+            vm.run(1_000_000)
+            assert vm.threads[0].finished

@@ -1,0 +1,85 @@
+"""Regenerate the measured exhibits and write them under results/.
+
+Usage::
+
+    python tools/regenerate_experiments.py [--instructions N] [--out DIR]
+
+Produces:
+    results/exhibits.txt    — every exhibit, rendered
+    results/summary.md      — the headline table in Markdown, for
+                              pasting into EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.report import exhibits
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiment import run_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    config = ExperimentConfig()
+    if args.instructions:
+        config.max_instructions = args.instructions
+
+    print("simulating the full suite ...")
+    start = time.time()
+    suite = run_suite(config=config)
+    print(f"done in {time.time() - start:.0f}s")
+
+    os.makedirs(args.out, exist_ok=True)
+
+    builders = [
+        exhibits.figure1,
+        exhibits.table1,
+        lambda _s: exhibits.table2(),
+        lambda _s: exhibits.table3(),
+        exhibits.table4,
+        exhibits.table5,
+        exhibits.table6,
+        exhibits.figure3,
+        exhibits.figure4,
+        exhibits.energy_breakdown,
+    ]
+    exhibits_path = os.path.join(args.out, "exhibits.txt")
+    with open(exhibits_path, "w") as fp:
+        for build in builders:
+            fp.write(build(suite).rendered)
+            fp.write("\n\n")
+    print(f"wrote {exhibits_path}")
+
+    from repro.report.markdown import (
+        figure3_to_markdown,
+        figure4_to_markdown,
+        headline_to_markdown,
+        per_benchmark_exhibit_to_markdown,
+    )
+
+    fig3 = exhibits.figure3(suite)
+    fig4 = exhibits.figure4(suite)
+    summary_path = os.path.join(args.out, "summary.md")
+    with open(summary_path, "w") as fp:
+        fp.write(headline_to_markdown(fig3, fig4))
+        fp.write("\n\n")
+        fp.write(figure3_to_markdown(fig3))
+        fp.write("\n\n")
+        fp.write(figure4_to_markdown(fig4))
+        fp.write("\n\n")
+        fp.write(
+            per_benchmark_exhibit_to_markdown(exhibits.table4(suite))
+        )
+        fp.write("\n")
+    print(f"wrote {summary_path}")
+
+
+if __name__ == "__main__":
+    main()
