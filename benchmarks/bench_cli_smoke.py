@@ -1,0 +1,14 @@
+"""End-to-end smoke check of the parallel run API via the real CLI.
+
+Complements the exhibit benches: instead of calling the Python API, this
+drives ``python -m repro quick --jobs 2`` as a subprocess (see the
+``cli_quick_smoke`` session fixture in conftest) and asserts the engine
+produced a sane report.
+"""
+
+
+def test_cli_quick_jobs2_smoke(cli_quick_smoke):
+    completed = cli_quick_smoke
+    assert completed.returncode == 0, completed.stderr
+    assert "L1D energy reduction" in completed.stdout
+    assert "slowdown" in completed.stdout

@@ -1,12 +1,20 @@
 """Shared fixtures for the benchmark harness.
 
 The full calibrated suite (7 stand-ins x 3 schemes at the default 6 M
-instruction budget) is simulated once per session; every exhibit bench is
-a different projection of those 21 runs.  Ablation benches run their own
-additional simulations.
+instruction budget) is resolved once per session through the experiment
+engine; every exhibit bench is a different projection of those 21 runs.
+Across sessions the persistent result store means the grid only actually
+simulates when the configuration (or store) changed.  Set
+``REPRO_BENCH_JOBS`` to fan the first, uncached resolution out across
+worker processes.  Ablation benches run their own additional simulations.
 """
 
 from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -26,7 +34,45 @@ def calibrated_config() -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def suite(calibrated_config):
     """The three-scheme suite over all seven stand-ins (cached)."""
-    return run_suite(config=calibrated_config)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return run_suite(config=calibrated_config, jobs=jobs)
+
+
+@pytest.fixture(scope="session")
+def cli_quick_smoke(tmp_path_factory):
+    """End-to-end CLI smoke run exercising the parallel engine path.
+
+    Invokes ``python -m repro quick --jobs 2`` as a real subprocess with
+    an isolated store, mirroring how a user would drive the run API.
+    Returns the completed process for benches to assert on.
+    """
+    store_dir = tmp_path_factory.mktemp("cli-smoke-store")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "quick",
+            "--jobs",
+            "2",
+            "--benchmarks",
+            "db",
+            "--instructions",
+            "300000",
+            "--store-dir",
+            str(store_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    return completed
 
 
 def print_exhibit(exhibit) -> None:

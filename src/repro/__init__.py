@@ -55,6 +55,7 @@ __all__ = [
     "BBVACEPolicy",
     "BBVConfig",
     "BENCHMARK_NAMES",
+    "Engine",
     "ExperimentConfig",
     "FootprintPredictor",
     "HotspotACEPolicy",
@@ -62,6 +63,8 @@ __all__ = [
     "MethodBuilder",
     "Program",
     "ProgramBuilder",
+    "ResultStore",
+    "RunSpec",
     "ScaledParameters",
     "SizeClassifier",
     "TuningConfig",
@@ -72,5 +75,27 @@ __all__ = [
     "build_benchmark",
     "build_machine",
     "build_suite",
+    "run_suite",
     "__version__",
 ]
+
+#: Engine-layer names are imported lazily (PEP 562): the policy packages
+#: they pull in would otherwise create an import cycle with sim.config.
+_LAZY = {
+    "Engine": ("repro.sim.engine", "Engine"),
+    "ResultStore": ("repro.sim.store", "ResultStore"),
+    "RunSpec": ("repro.sim.driver", "RunSpec"),
+    "run_suite": ("repro.sim.experiment", "run_suite"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -80,6 +80,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="simulation seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulations (default: 1, serial; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result-store directory (default: results/store, "
+        "or $REPRO_STORE_DIR)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent result store (in-memory cache only)",
+    )
     return parser
 
 
@@ -94,12 +114,27 @@ def make_config(args) -> ExperimentConfig:
     return config
 
 
+def configure_store(args) -> None:
+    """Apply ``--no-store`` / ``--store-dir`` to the experiment layer."""
+    from repro.sim.experiment import set_default_store
+    from repro.sim.store import ResultStore
+
+    if args.no_store:
+        set_default_store(None)
+    elif args.store_dir is not None:
+        set_default_store(ResultStore(args.store_dir))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.exhibit in STATIC_EXHIBITS:
         print(STATIC_EXHIBITS[args.exhibit]().rendered)
         return 0
 
+    configure_store(args)
+    from repro.sim.experiment import make_engine
+
+    engine = make_engine(jobs=args.jobs)
     config = make_config(args)
     if args.exhibit == "quick":
         from repro.sim.experiment import compare_schemes
@@ -107,7 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         config.max_instructions = min(config.max_instructions, 1_500_000)
         start = time.time()
         comparison = compare_schemes(
-            (args.benchmarks or ["db"])[0], config
+            (args.benchmarks or ["db"])[0], config, engine=engine
         )
         for cache in ("L1D", "L2"):
             print(
@@ -124,7 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     start = time.time()
-    suite = run_suite(args.benchmarks, config)
+    suite = run_suite(args.benchmarks, config, engine=engine)
     elapsed = time.time() - start
     wanted = (
         ALL_EXHIBITS if args.exhibit == "all" else [args.exhibit]
@@ -135,7 +170,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(SUITE_EXHIBITS[name](suite).rendered)
         print()
-    print(f"(suite simulated in {elapsed:.0f}s)")
+    stats = engine.stats
+    print(
+        f"(suite resolved in {elapsed:.0f}s: {stats.simulations} "
+        f"simulated, {stats.memory_hits} memory hits, "
+        f"{stats.store_hits} store hits, jobs={args.jobs})"
+    )
     return 0
 
 

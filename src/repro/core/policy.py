@@ -110,6 +110,16 @@ class HotspotPolicyStats:
             return 0.0
         return self.tuned_hotspots / self.managed_hotspots
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (result-store schema v1)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HotspotPolicyStats":
+        return cls(**payload)
+
 
 class HotspotACEPolicy(AdaptationHooks):
     """Adaptation policy implementing the paper's framework."""

@@ -36,6 +36,16 @@ class PhaseOccurrenceStats:
         total = self.total_intervals
         return self.stable_intervals / total if total else 0.0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-JSON form (result-store schema v1)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "PhaseOccurrenceStats":
+        return cls(**payload)
+
 
 class _Phase:
     __slots__ = ("pid", "signature", "intervals", "ipc_sum", "ipc_sumsq",

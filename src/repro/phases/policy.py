@@ -64,6 +64,20 @@ class BBVPolicyStats:
     def tuned_phase_fraction(self) -> float:
         return self.tuned_phases / self.n_phases if self.n_phases else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (result-store schema v1)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BBVPolicyStats":
+        payload = dict(payload)
+        payload["occurrence_stats"] = PhaseOccurrenceStats.from_dict(
+            payload["occurrence_stats"]
+        )
+        return cls(**payload)
+
 
 class BBVACEPolicy(AdaptationHooks):
     """Temporal-approach adaptation policy."""

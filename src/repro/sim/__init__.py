@@ -24,28 +24,40 @@ __all__ = [
     "BBVConfig",
     "BenchmarkComparison",
     "CacheConfig",
+    "Engine",
+    "EngineStats",
     "ExperimentConfig",
     "MachineConfig",
+    "ResultStore",
     "RunResult",
+    "RunSpec",
     "ScaledParameters",
     "SuiteResults",
     "TuningConfig",
     "build_machine",
     "coefficient_of_variation",
     "compare_schemes",
+    "execute",
     "mean",
     "population_std",
     "run_benchmark",
     "run_suite",
+    "sweep_parameter",
 ]
 
 _LAZY = {
     "RunResult": ("repro.sim.driver", "RunResult"),
+    "RunSpec": ("repro.sim.driver", "RunSpec"),
     "run_benchmark": ("repro.sim.driver", "run_benchmark"),
+    "execute": ("repro.sim.driver", "execute"),
+    "Engine": ("repro.sim.engine", "Engine"),
+    "EngineStats": ("repro.sim.engine", "EngineStats"),
+    "ResultStore": ("repro.sim.store", "ResultStore"),
     "BenchmarkComparison": ("repro.sim.experiment", "BenchmarkComparison"),
     "SuiteResults": ("repro.sim.experiment", "SuiteResults"),
     "compare_schemes": ("repro.sim.experiment", "compare_schemes"),
     "run_suite": ("repro.sim.experiment", "run_suite"),
+    "sweep_parameter": ("repro.sim.sweeps", "sweep_parameter"),
 }
 
 

@@ -10,6 +10,9 @@ on (DESIGN.md §2).  Cache geometries are kept at the paper's values.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
@@ -148,6 +151,37 @@ class MachineConfig:
     resize_policy: str = "selective"
 
 
+#: Version prefix baked into every fingerprint.  Bump when the meaning of
+#: a configuration field changes (so old persistent-store entries stop
+#: matching) — see docs/INTERNALS.md §9.
+FINGERPRINT_VERSION = 1
+
+
+def canonicalize(obj):
+    """Reduce a configuration object to JSON-serialisable primitives.
+
+    Dataclasses become ``{field: value}`` dicts (every field, so new knobs
+    are automatically part of the fingerprint), mappings are key-sorted,
+    and sequences become lists.  Anything exotic falls back to ``repr``,
+    which is stable for the value types configurations hold.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {
+            str(key): canonicalize(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
 @dataclass
 class ExperimentConfig:
     """One experiment = machine + budgets + scheme knobs."""
@@ -158,6 +192,27 @@ class ExperimentConfig:
     max_instructions: int = 6_000_000
     hot_threshold: int = 4
     seed: int = 12345
+
+    def fingerprint(self) -> str:
+        """Content hash over *every* nested knob (versioned, hex).
+
+        This is the cache identity used by both the in-process result
+        cache and the persistent on-disk store: two configurations with
+        equal fingerprints produce identical simulations.  Unlike the old
+        private tuple fingerprint, it is derived structurally from the
+        dataclass fields, so adding or changing any knob — cache geometry,
+        timing constants, energy specs, tuning thresholds — changes the
+        hash without anyone having to remember to extend a hand-written
+        field list.
+        """
+        payload = {
+            "version": FINGERPRINT_VERSION,
+            "config": canonicalize(self),
+        }
+        blob = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def build_machine(config: Optional[MachineConfig] = None) -> MachineModel:

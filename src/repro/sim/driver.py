@@ -7,8 +7,10 @@ budget, and packages everything the evaluation needs into a
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.policy import HotspotACEPolicy, HotspotPolicyStats
 from repro.core.prediction import (
@@ -24,6 +26,61 @@ SCHEMES = ("baseline", "bbv", "hotspot")
 
 
 @dataclass
+class RunSpec:
+    """One experiment cell: everything needed to execute a single run.
+
+    This replaces the ``run_benchmark(benchmark, scheme, config, policy,
+    max_instructions, preload_database)`` parameter sprawl — a cell is one
+    value that the driver, the engine, and the sweeps all accept.
+    ``policy`` and ``preload_database`` make a cell *non-cacheable* (their
+    state is not captured by the configuration fingerprint).
+    """
+
+    benchmark: Union[str, BuiltBenchmark]
+    scheme: str = "hotspot"
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    policy: Optional[AdaptationHooks] = None
+    max_instructions: Optional[int] = None
+    preload_database: Optional[object] = None
+
+    @property
+    def benchmark_name(self) -> str:
+        if isinstance(self.benchmark, str):
+            return self.benchmark
+        return self.benchmark.name
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the cell is fully described by (name, scheme, config).
+
+        A prebuilt ``BuiltBenchmark`` object, an explicit ``policy``, or a
+        ``preload_database`` all carry state outside the fingerprint, so
+        such cells always execute.
+        """
+        return (
+            isinstance(self.benchmark, str)
+            and self.policy is None
+            and self.preload_database is None
+        )
+
+    def effective_fingerprint(self) -> str:
+        """Configuration fingerprint with ``max_instructions`` folded in."""
+        if self.max_instructions is None:
+            return self.config.fingerprint()
+        config = copy.deepcopy(self.config)
+        config.max_instructions = self.max_instructions
+        return config.fingerprint()
+
+    def cache_key(self) -> Tuple[str, str, str]:
+        """Identity of this cell in both cache layers."""
+        return (
+            self.benchmark_name,
+            self.scheme,
+            self.effective_fingerprint(),
+        )
+
+
+@dataclass
 class HotspotSummary:
     """Per-hotspot data extracted from the DO database (Table 4)."""
 
@@ -32,6 +89,13 @@ class HotspotSummary:
     mean_size: float
     detected_at: Optional[int]
     pre_hot_instructions: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "HotspotSummary":
+        return cls(**payload)
 
 
 @dataclass
@@ -88,6 +152,28 @@ class RunResult:
         invs = [h.invocations for h in self.hotspot_summaries.values()]
         return sum(invs) / len(invs) if invs else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (store schema v1); nested dataclasses recurse."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`; raises on unknown/missing fields."""
+        payload = dict(payload)
+        payload["hotspot_summaries"] = {
+            name: HotspotSummary.from_dict(summary)
+            for name, summary in payload["hotspot_summaries"].items()
+        }
+        if payload.get("hotspot_stats") is not None:
+            payload["hotspot_stats"] = HotspotPolicyStats.from_dict(
+                payload["hotspot_stats"]
+            )
+        if payload.get("bbv_stats") is not None:
+            payload["bbv_stats"] = BBVPolicyStats.from_dict(
+                payload["bbv_stats"]
+            )
+        return cls(**payload)
+
 
 def make_policy(scheme: str, config: ExperimentConfig) -> AdaptationHooks:
     """Instantiate the adaptation policy for a scheme name."""
@@ -101,7 +187,7 @@ def make_policy(scheme: str, config: ExperimentConfig) -> AdaptationHooks:
 
 
 def run_benchmark(
-    benchmark: Union[str, BuiltBenchmark],
+    benchmark: Union[str, BuiltBenchmark, RunSpec],
     scheme: str = "hotspot",
     config: Optional[ExperimentConfig] = None,
     policy: Optional[AdaptationHooks] = None,
@@ -110,11 +196,37 @@ def run_benchmark(
 ) -> RunResult:
     """Run one benchmark under one scheme; returns the result bundle.
 
+    .. deprecated::
+        The keyword form is a compatibility shim; describe cells with a
+        :class:`RunSpec` and call :func:`execute` (or route batches
+        through :class:`repro.sim.engine.Engine`) instead.
+
     ``policy`` overrides the scheme's default policy object (used by the
     ablation benches to pass customised policies while keeping the same
     plumbing).
     """
-    config = config or ExperimentConfig()
+    if isinstance(benchmark, RunSpec):
+        return execute(benchmark)
+    return execute(
+        RunSpec(
+            benchmark=benchmark,
+            scheme=scheme,
+            config=config or ExperimentConfig(),
+            policy=policy,
+            max_instructions=max_instructions,
+            preload_database=preload_database,
+        )
+    )
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` cell (always simulates; no caching)."""
+    config = spec.config or ExperimentConfig()
+    scheme = spec.scheme
+    policy = spec.policy
+    benchmark = spec.benchmark
+    max_instructions = spec.max_instructions
+    preload_database = spec.preload_database
     built = (
         build_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     )

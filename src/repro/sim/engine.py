@@ -1,0 +1,354 @@
+"""Parallel experiment engine: fan experiment cells out across processes.
+
+Every exhibit, bench, and CLI command ultimately needs the same thing: a
+batch of ``(benchmark, scheme, config)`` cells turned into
+:class:`~repro.sim.driver.RunResult` bundles.  :class:`Engine` is the one
+entry point for that.  It layers three mechanisms under a single
+``run(cells)`` call:
+
+1. an **in-process memory cache** (shared, module-level) so different
+   exhibits in one process reuse the same runs — the role the old private
+   ``_CACHE`` dict in ``repro.sim.experiment`` used to play;
+2. a **persistent on-disk store** (:class:`repro.sim.store.ResultStore`)
+   so *fresh processes* — another CLI invocation, another pytest worker —
+   reuse runs too;
+3. a **process pool** (``--jobs N``) with per-cell timeout and bounded
+   retry for the cells that actually have to simulate.
+
+Results are deterministic: a cell's outcome depends only on its
+:class:`~repro.sim.driver.RunSpec`, never on scheduling, so the parallel
+path is bit-identical to the serial one.
+
+Cells carrying live objects (an explicit ``policy`` instance, a
+``preload_database``, a prebuilt benchmark) are executed serially in the
+parent process — they are not guaranteed picklable and are never cached.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.driver import RunResult, RunSpec, execute
+from repro.sim.store import ResultStore
+
+#: Where a cell's result came from (progress callbacks receive this).
+SOURCE_MEMORY = "memory"
+SOURCE_STORE = "store"
+SOURCE_SIMULATED = "simulated"
+
+#: Shared across all Engine instances by default, so e.g. the CLI's
+#: exhibit loop and the bench fixtures see each other's runs.
+_MEMORY_CACHE: Dict[Tuple[str, str, str], RunResult] = {}
+
+
+def clear_memory_cache() -> int:
+    """Drop every in-process cached result; returns the count dropped."""
+    count = len(_MEMORY_CACHE)
+    _MEMORY_CACHE.clear()
+    return count
+
+
+class CellTimeout(Exception):
+    """A cell exceeded the engine's per-cell wall-clock budget."""
+
+
+class CellExecutionError(RuntimeError):
+    """A cell kept failing after the engine's retry budget was spent."""
+
+    def __init__(self, spec: RunSpec, attempts: int, cause: BaseException):
+        super().__init__(
+            f"cell ({spec.benchmark_name!r}, {spec.scheme!r}) failed after "
+            f"{attempts} attempt(s): {cause!r}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class EngineStats:
+    """Counters for one Engine instance (reset with ``reset()``)."""
+
+    simulations: int = 0
+    memory_hits: int = 0
+    store_hits: int = 0
+    deduplicated: int = 0
+    retries: int = 0
+    timeouts: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class CellProgress:
+    """One progress-callback notification."""
+
+    done: int
+    total: int
+    spec: RunSpec
+    source: str
+
+
+ProgressCallback = Callable[[CellProgress], None]
+
+
+def _run_with_alarm(spec: RunSpec, timeout: Optional[float]) -> RunResult:
+    """Execute a cell, bounded by SIGALRM when a timeout is requested.
+
+    SIGALRM interrupts pure-Python simulation loops reliably on POSIX; it
+    is only armed from a main thread (worker processes always qualify).
+    """
+    if (
+        timeout is None
+        or timeout <= 0
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return execute(spec)
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(
+            f"cell ({spec.benchmark_name!r}, {spec.scheme!r}) exceeded "
+            f"{timeout:.1f}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_worker(payload: Tuple[RunSpec, Optional[float]]) -> RunResult:
+    """Top-level worker entry (must be importable for pickling)."""
+    spec, timeout = payload
+    return _run_with_alarm(spec, timeout)
+
+
+class Engine:
+    """Executes batches of :class:`RunSpec` cells with caching + fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cells that must simulate.  ``1`` (default)
+        runs everything in the calling process.
+    store:
+        A :class:`ResultStore` for cross-process persistence, or ``None``
+        to keep results in memory only.
+    use_cache:
+        When False, both cache layers are bypassed *in both directions*:
+        nothing is read, nothing is written, every cell simulates.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (None = unbounded).  A
+        timed-out cell is retried like any other failure.
+    max_retries:
+        Extra attempts per cell after the first failure.
+    progress:
+        Callback receiving a :class:`CellProgress` per finished cell.
+    runner:
+        Test/extension hook replacing :func:`repro.sim.driver.execute`;
+        forces serial in-process execution.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        use_cache: bool = True,
+        cell_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        progress: Optional[ProgressCallback] = None,
+        runner: Optional[Callable[[RunSpec], RunResult]] = None,
+        memory_cache: Optional[Dict] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.store = store
+        self.use_cache = use_cache
+        self.cell_timeout = cell_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.progress = progress
+        self.runner = runner
+        self._memory = (
+            _MEMORY_CACHE if memory_cache is None else memory_cache
+        )
+        self.stats = EngineStats()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, cells: Sequence[RunSpec]) -> List[RunResult]:
+        """Resolve every cell (cache, store, or simulation), in order."""
+        specs = list(cells)
+        total = len(specs)
+        results: List[Optional[RunResult]] = [None] * total
+        self._done = 0
+        self._total = total
+
+        pending: List[int] = []
+        leaders: Dict[Tuple[str, str, str], int] = {}
+        followers: Dict[int, List[int]] = {}
+        for index, spec in enumerate(specs):
+            hit = self._lookup(spec)
+            if hit is not None:
+                result, source = hit
+                results[index] = result
+                self._notify(spec, source)
+                continue
+            if self.use_cache and spec.cacheable:
+                key = spec.cache_key()
+                leader = leaders.get(key)
+                if leader is not None:
+                    followers.setdefault(leader, []).append(index)
+                    self.stats.deduplicated += 1
+                    continue
+                leaders[key] = index
+            pending.append(index)
+
+        if pending:
+            self._execute_pending(specs, pending, results)
+        for leader, dupes in followers.items():
+            for index in dupes:
+                results[index] = results[leader]
+                self._notify(specs[index], SOURCE_MEMORY)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Single-cell convenience wrapper around :meth:`run`."""
+        return self.run([spec])[0]
+
+    # -- cache layers ------------------------------------------------------
+
+    def _lookup(self, spec: RunSpec) -> Optional[Tuple[RunResult, str]]:
+        if not (self.use_cache and spec.cacheable):
+            return None
+        key = spec.cache_key()
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key], SOURCE_MEMORY
+        if self.store is not None:
+            result = self.store.get(*key)
+            if result is not None:
+                self._memory[key] = result
+                self.stats.store_hits += 1
+                return result, SOURCE_STORE
+        return None
+
+    def _record(self, spec: RunSpec, result: RunResult) -> None:
+        if not (self.use_cache and spec.cacheable):
+            return
+        key = spec.cache_key()
+        self._memory[key] = result
+        if self.store is not None:
+            self.store.put(*key, result)
+
+    def _notify(self, spec: RunSpec, source: str) -> None:
+        self._done += 1
+        if self.progress is not None:
+            self.progress(
+                CellProgress(self._done, self._total, spec, source)
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_pending(
+        self,
+        specs: Sequence[RunSpec],
+        pending: List[int],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        pool_eligible = [
+            i for i in pending if self._pool_eligible(specs[i])
+        ]
+        serial = [i for i in pending if i not in set(pool_eligible)]
+        if self.jobs > 1 and len(pool_eligible) > 1:
+            self._run_pool(specs, pool_eligible, results)
+        else:
+            serial = sorted(set(serial) | set(pool_eligible))
+        for index in serial:
+            results[index] = self._run_serial(specs[index])
+
+    def _pool_eligible(self, spec: RunSpec) -> bool:
+        return (
+            self.runner is None
+            and isinstance(spec.benchmark, str)
+            and spec.policy is None
+            and spec.preload_database is None
+        )
+
+    def _run_serial(self, spec: RunSpec) -> RunResult:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if self.runner is not None:
+                    result = self.runner(spec)
+                else:
+                    result = _run_with_alarm(spec, self.cell_timeout)
+                break
+            except Exception as error:  # noqa: BLE001 — retry boundary
+                if isinstance(error, CellTimeout):
+                    self.stats.timeouts += 1
+                if attempts > self.max_retries:
+                    raise CellExecutionError(
+                        spec, attempts, error
+                    ) from error
+                self.stats.retries += 1
+        self.stats.simulations += 1
+        self._record(spec, result)
+        self._notify(spec, SOURCE_SIMULATED)
+        return result
+
+    def _run_pool(
+        self,
+        specs: Sequence[RunSpec],
+        indices: List[int],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        attempts: Dict[int, int] = {i: 0 for i in indices}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {}
+            for index in indices:
+                attempts[index] += 1
+                futures[
+                    pool.submit(
+                        _pool_worker, (specs[index], self.cell_timeout)
+                    )
+                ] = index
+            while futures:
+                finished, _ = wait(
+                    list(futures), return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = futures.pop(future)
+                    spec = specs[index]
+                    error = future.exception()
+                    if error is None:
+                        result = future.result()
+                        results[index] = result
+                        self.stats.simulations += 1
+                        self._record(spec, result)
+                        self._notify(spec, SOURCE_SIMULATED)
+                        continue
+                    if isinstance(error, CellTimeout):
+                        self.stats.timeouts += 1
+                    if attempts[index] > self.max_retries:
+                        for other in futures:
+                            other.cancel()
+                        raise CellExecutionError(
+                            spec, attempts[index], error
+                        ) from error
+                    self.stats.retries += 1
+                    attempts[index] += 1
+                    futures[
+                        pool.submit(
+                            _pool_worker,
+                            (specs[index], self.cell_timeout),
+                        )
+                    ] = index

@@ -1,38 +1,58 @@
 """Experiment runner: baseline vs. BBV vs. hotspot across the suite.
 
-This is the layer the table/figure benches and the CLI drive.  Suite runs
-are cached per (config fingerprint, benchmark, scheme) within the process,
-because several exhibits are different projections of the same three runs.
+This is the layer the table/figure benches and the CLI drive.  Since the
+engine redesign it is a thin facade over
+:class:`repro.sim.engine.Engine`: every run is cached per
+``(benchmark, scheme, ExperimentConfig.fingerprint())`` — in process
+memory *and*, by default, in the persistent on-disk store
+(``results/store/``), so fresh processes reuse previous runs.  The old
+``cached_run``/``compare_schemes``/``run_suite`` signatures are kept as
+shims routing through one ``Engine.run(cells)`` entry point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.config import ExperimentConfig
-from repro.sim.driver import RunResult, run_benchmark
-from repro.workloads.specjvm import BENCHMARK_NAMES, build_benchmark
+from repro.sim.driver import RunResult, RunSpec, SCHEMES
+from repro.sim.engine import Engine, ProgressCallback, clear_memory_cache
+from repro.sim.store import ResultStore
+from repro.workloads.specjvm import BENCHMARK_NAMES
 
-_CACHE: Dict[Tuple, RunResult] = {}
+#: Persistent layer used by the module-level helpers.  ``None`` disables
+#: persistence (memory-only), which is what ``--no-store`` sets.  The
+#: initial store points at ``results/store`` (or ``$REPRO_STORE_DIR``).
+_UNSET = object()
+_DEFAULT_STORE = _UNSET
 
 
-def _fingerprint(config: ExperimentConfig) -> Tuple:
-    machine = config.machine
-    return (
-        config.max_instructions,
-        config.hot_threshold,
-        config.seed,
-        machine.params.scale,
-        machine.enable_pipeline_cus,
-        machine.resize_policy,
-        config.tuning.objective,
-        config.tuning.performance_threshold,
-        config.tuning.sampling_period_invocations,
-        config.tuning.retune_ipc_delta,
-        config.bbv.similarity_threshold,
-        config.bbv.n_buckets,
-        config.bbv.stable_min_intervals,
+def get_default_store() -> Optional[ResultStore]:
+    """The store new engines use; created lazily on first access."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is _UNSET:
+        _DEFAULT_STORE = ResultStore()
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: Optional[ResultStore]) -> None:
+    """Replace (or, with ``None``, disable) the persistent layer."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+def make_engine(
+    jobs: int = 1,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> Engine:
+    """An engine wired to the shared memory cache and default store."""
+    return Engine(
+        jobs=jobs,
+        store=get_default_store(),
+        use_cache=use_cache,
+        progress=progress,
     )
 
 
@@ -42,18 +62,28 @@ def cached_run(
     config: ExperimentConfig,
     use_cache: bool = True,
 ) -> RunResult:
-    """Run (or fetch from the in-process cache) one benchmark+scheme."""
-    key = (benchmark, scheme, _fingerprint(config))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    result = run_benchmark(build_benchmark(benchmark), scheme, config)
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    """Run (or fetch from either cache layer) one benchmark+scheme.
+
+    Shim over :meth:`Engine.run_one`; ``use_cache=False`` bypasses both
+    the in-process cache and the persistent store, in both directions.
+    """
+    engine = make_engine(use_cache=use_cache)
+    return engine.run_one(RunSpec(benchmark, scheme, config))
 
 
-def clear_cache() -> None:
-    _CACHE.clear()
+def clear_cache(include_store: bool = True) -> None:
+    """Invalidate cached results.
+
+    Clears the in-process memory cache and, unless ``include_store=False``,
+    also wipes the persistent on-disk store — the two layers stay
+    consistent by default (stale on-disk entries cannot resurrect results
+    the caller just invalidated).
+    """
+    clear_memory_cache()
+    if include_store:
+        store = get_default_store()
+        if store is not None:
+            store.clear()
 
 
 @dataclass
@@ -120,14 +150,18 @@ def compare_schemes(
     benchmark: str,
     config: Optional[ExperimentConfig] = None,
     use_cache: bool = True,
+    engine: Optional[Engine] = None,
 ) -> BenchmarkComparison:
-    """Run all three schemes on one benchmark."""
+    """Run all three schemes on one benchmark (one engine batch)."""
     config = config or ExperimentConfig()
+    engine = engine or make_engine(use_cache=use_cache)
+    cells = [RunSpec(benchmark, scheme, config) for scheme in SCHEMES]
+    baseline, bbv, hotspot = engine.run(cells)
     return BenchmarkComparison(
         benchmark=benchmark,
-        baseline=cached_run(benchmark, "baseline", config, use_cache),
-        bbv=cached_run(benchmark, "bbv", config, use_cache),
-        hotspot=cached_run(benchmark, "hotspot", config, use_cache),
+        baseline=baseline,
+        bbv=bbv,
+        hotspot=hotspot,
     )
 
 
@@ -135,10 +169,35 @@ def run_suite(
     names: Optional[Sequence[str]] = None,
     config: Optional[ExperimentConfig] = None,
     use_cache: bool = True,
+    jobs: int = 1,
+    engine: Optional[Engine] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SuiteResults:
-    """Run the three-scheme comparison over the whole suite (or subset)."""
+    """Run the three-scheme comparison over the whole suite (or subset).
+
+    The full ``benchmarks × schemes`` grid is handed to the engine as one
+    batch, so with ``jobs > 1`` the cells that actually need simulating
+    fan out across worker processes; cached cells (memory or store) never
+    re-simulate.  Output is identical for any ``jobs`` value.
+    """
     config = config or ExperimentConfig()
+    engine = engine or make_engine(
+        jobs=jobs, use_cache=use_cache, progress=progress
+    )
+    names = list(names or BENCHMARK_NAMES)
+    cells = [
+        RunSpec(name, scheme, config)
+        for name in names
+        for scheme in SCHEMES
+    ]
+    runs = engine.run(cells)
     results = SuiteResults()
-    for name in names or BENCHMARK_NAMES:
-        results.comparisons[name] = compare_schemes(name, config, use_cache)
+    for position, name in enumerate(names):
+        baseline, bbv, hotspot = runs[3 * position:3 * position + 3]
+        results.comparisons[name] = BenchmarkComparison(
+            benchmark=name,
+            baseline=baseline,
+            bbv=bbv,
+            hotspot=hotspot,
+        )
     return results

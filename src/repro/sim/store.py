@@ -1,0 +1,209 @@
+"""Persistent, content-addressed result store (schema v1).
+
+Every cell the engine executes can be persisted as one JSON file under a
+store directory (default ``results/store/``), addressed by the cell's
+``(benchmark, scheme, ExperimentConfig.fingerprint())`` identity.  A
+fresh process — another CLI invocation, another pytest worker — that asks
+for the same cell gets the stored :class:`~repro.sim.driver.RunResult`
+back instead of re-simulating.
+
+Entry layout (schema version 1)::
+
+    {
+      "schema": 1,
+      "fingerprint": "<64-hex sha256 of the canonical config>",
+      "benchmark": "db",
+      "scheme": "hotspot",
+      "created": 1754000000.0,
+      "repro_version": "1.0.0",
+      "result": { ... RunResult.to_dict() ... }
+    }
+
+Robustness rules:
+
+* reads that fail for *any* reason (corrupt JSON, wrong schema version,
+  fingerprint mismatch, missing/unknown result fields) are treated as
+  cache misses — the cell simply re-simulates and the entry is rewritten;
+* writes are atomic (temp file + ``os.replace``), so a crashed or
+  concurrent writer can never leave a truncated entry behind;
+* ``STORE_SCHEMA_VERSION`` must be bumped whenever the serialised shape
+  of :class:`RunResult` changes, and the *fingerprint* version
+  (:data:`repro.sim.config.FINGERPRINT_VERSION`) whenever simulator
+  behaviour changes meaning under an unchanged config — see
+  docs/INTERNALS.md §9.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.sim.driver import RunResult
+
+#: Version of the on-disk entry layout.  Entries with any other value are
+#: ignored on read (and reported by ``tools/store_gc.py``).
+STORE_SCHEMA_VERSION = 1
+
+#: Default location, overridable with the ``REPRO_STORE_DIR`` environment
+#: variable (the CLI's ``--store-dir`` wins over both).
+DEFAULT_STORE_DIR = "results/store"
+
+
+def default_store_dir() -> Path:
+    return Path(os.environ.get("REPRO_STORE_DIR", DEFAULT_STORE_DIR))
+
+
+@dataclass(frozen=True)
+class StoreEntryInfo:
+    """Metadata of one store file (for listings and GC)."""
+
+    path: Path
+    benchmark: Optional[str]
+    scheme: Optional[str]
+    fingerprint: Optional[str]
+    schema: Optional[int]
+    created: Optional[float]
+    corrupt: bool = False
+
+    @property
+    def known_schema(self) -> bool:
+        return self.schema == STORE_SCHEMA_VERSION
+
+    def age_days(self, now: Optional[float] = None) -> float:
+        if self.created is None:
+            return float("inf")
+        now = time.time() if now is None else now
+        return max(0.0, (now - self.created) / 86_400.0)
+
+
+class ResultStore:
+    """On-disk result cache, one JSON file per experiment cell."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_store_dir()
+
+    # -- addressing --------------------------------------------------------
+
+    def path_for(
+        self, benchmark: str, scheme: str, fingerprint: str
+    ) -> Path:
+        """Content address: readable prefix + fingerprint excerpt."""
+        return self.root / f"{benchmark}__{scheme}__{fingerprint[:24]}.json"
+
+    # -- read/write --------------------------------------------------------
+
+    def get(
+        self, benchmark: str, scheme: str, fingerprint: str
+    ) -> Optional[RunResult]:
+        """Stored result for a cell, or None on miss/corruption/mismatch."""
+        path = self.path_for(benchmark, scheme, fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != STORE_SCHEMA_VERSION:
+                return None
+            if payload.get("fingerprint") != fingerprint:
+                return None
+            return RunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        benchmark: str,
+        scheme: str,
+        fingerprint: str,
+        result: RunResult,
+    ) -> Path:
+        """Atomically persist one cell's result; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(benchmark, scheme, fingerprint)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "benchmark": benchmark,
+            "scheme": scheme,
+            "created": time.time(),
+            "repro_version": _repro_version(),
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> Iterator[StoreEntryInfo]:
+        """Metadata for every ``*.json`` entry under the store root."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                yield StoreEntryInfo(
+                    path=path,
+                    benchmark=payload.get("benchmark"),
+                    scheme=payload.get("scheme"),
+                    fingerprint=payload.get("fingerprint"),
+                    schema=payload.get("schema"),
+                    created=payload.get("created"),
+                )
+            except (OSError, ValueError):
+                yield StoreEntryInfo(
+                    path=path,
+                    benchmark=None,
+                    scheme=None,
+                    fingerprint=None,
+                    schema=None,
+                    created=None,
+                    corrupt=True,
+                )
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp file); returns count removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in list(self.root.glob("*.json")) + list(
+            self.root.glob("*.tmp")
+        ):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r}, entries={len(self)})"
+
+
+def _repro_version() -> str:
+    try:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+    except Exception:
+        return "unknown"

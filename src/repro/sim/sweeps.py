@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.sim.config import ExperimentConfig
-from repro.sim.driver import RunResult, run_benchmark
-from repro.workloads.specjvm import build_benchmark
+from repro.sim.driver import RunResult, RunSpec
+from repro.sim.engine import Engine
 
 
 @dataclass
@@ -86,24 +86,37 @@ def sweep_parameter(
     scheme: str = "hotspot",
     base_config: Optional[ExperimentConfig] = None,
     max_instructions: Optional[int] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    engine: Optional[Engine] = None,
 ) -> List[SweepPoint]:
     """Run ``scheme`` (plus a baseline) at each value of ``parameter``.
 
     ``parameter`` is a dotted path into :class:`ExperimentConfig`, e.g.
     ``"tuning.performance_threshold"``, ``"hot_threshold"``, or
     ``"bbv.similarity_threshold"``.
+
+    The whole sweep is one engine batch: pass ``jobs`` to fan the points
+    out across worker processes, or an explicit ``engine`` to control the
+    cache/store layers (the default engine reuses the shared memory cache
+    and persistent store, so repeated sweeps are free).
     """
     if not values:
         raise ValueError("need at least one sweep value")
-    points: List[SweepPoint] = []
+    if engine is None:
+        from repro.sim.experiment import make_engine
+
+        engine = make_engine(jobs=jobs, use_cache=use_cache)
+    cells: List[RunSpec] = []
     for value in values:
         config = copy.deepcopy(base_config or ExperimentConfig())
         if max_instructions is not None:
             config.max_instructions = max_instructions
         set_config_path(config, parameter, value)
-        result = run_benchmark(build_benchmark(benchmark), scheme, config)
-        baseline = run_benchmark(
-            build_benchmark(benchmark), "baseline", config
-        )
-        points.append(SweepPoint(parameter, value, result, baseline))
-    return points
+        cells.append(RunSpec(benchmark, scheme, config))
+        cells.append(RunSpec(benchmark, "baseline", config))
+    runs = engine.run(cells)
+    return [
+        SweepPoint(parameter, value, runs[2 * i], runs[2 * i + 1])
+        for i, value in enumerate(values)
+    ]

@@ -1,0 +1,286 @@
+"""Engine behaviour: caching layers, fan-out parity, retries, shims.
+
+The acceptance bar for the engine redesign: parallel execution is
+bit-identical to serial, cache layers compose (memory → store →
+simulate) with accurate counters, `use_cache=False` bypasses both
+layers in both directions, and the old entry points (`cached_run`,
+`compare_schemes`, `run_suite`, `run_benchmark`) behave as before.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.report import exhibits
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec, run_benchmark
+from repro.sim.engine import (
+    CellExecutionError,
+    CellTimeout,
+    Engine,
+    clear_memory_cache,
+)
+from repro.sim.experiment import (
+    cached_run,
+    clear_cache,
+    compare_schemes,
+    get_default_store,
+    run_suite,
+    set_default_store,
+)
+from repro.sim.store import ResultStore
+
+BUDGET = 60_000
+
+
+@pytest.fixture
+def small_config():
+    return ExperimentConfig(max_instructions=BUDGET)
+
+
+@pytest.fixture
+def isolated_store(tmp_path):
+    """Point the experiment facade at a private tmpdir store."""
+    previous = get_default_store()
+    store = ResultStore(tmp_path / "store")
+    set_default_store(store)
+    clear_memory_cache()
+    try:
+        yield store
+    finally:
+        set_default_store(previous)
+        clear_memory_cache()
+
+
+class TestCacheLayers:
+    def test_memory_then_store_then_simulate(self, tmp_path, small_config):
+        store = ResultStore(tmp_path)
+        spec = RunSpec("db", "baseline", small_config)
+
+        first_engine = Engine(store=store, memory_cache={})
+        result = first_engine.run_one(spec)
+        assert first_engine.stats.simulations == 1
+        assert len(store) == 1
+
+        # Same engine again: memory hit, same object.
+        assert first_engine.run_one(spec) is result
+        assert first_engine.stats.memory_hits == 1
+        assert first_engine.stats.simulations == 1
+
+        # Fresh memory cache: store hit, equal value.
+        second_engine = Engine(store=store, memory_cache={})
+        restored = second_engine.run_one(spec)
+        assert second_engine.stats.store_hits == 1
+        assert second_engine.stats.simulations == 0
+        assert restored == result
+
+    def test_use_cache_false_bypasses_both_layers(
+        self, tmp_path, small_config
+    ):
+        store = ResultStore(tmp_path)
+        memory = {}
+        engine = Engine(
+            store=store, use_cache=False, memory_cache=memory
+        )
+        spec = RunSpec("db", "baseline", small_config)
+        engine.run_one(spec)
+        engine.run_one(spec)
+        # Nothing read, nothing written: two real simulations.
+        assert engine.stats.simulations == 2
+        assert engine.stats.memory_hits == 0
+        assert engine.stats.store_hits == 0
+        assert len(store) == 0
+        assert memory == {}
+
+        # And a prepopulated store is not consulted either.
+        Engine(store=store, memory_cache={}).run_one(spec)
+        assert len(store) == 1
+        bypass = Engine(store=store, use_cache=False, memory_cache={})
+        bypass.run_one(spec)
+        assert bypass.stats.simulations == 1
+        assert bypass.stats.store_hits == 0
+
+    def test_duplicate_cells_deduplicated_within_batch(
+        self, small_config
+    ):
+        engine = Engine(memory_cache={})
+        spec = RunSpec("db", "baseline", small_config)
+        results = engine.run([spec, RunSpec("db", "baseline", small_config)])
+        assert engine.stats.simulations == 1
+        assert engine.stats.deduplicated == 1
+        assert results[0] is results[1]
+
+    def test_non_cacheable_cells_always_execute(self, small_config):
+        from repro.sim.driver import make_policy
+
+        engine = Engine(memory_cache={})
+        spec = RunSpec(
+            "db",
+            "hotspot",
+            small_config,
+            policy=make_policy("hotspot", small_config),
+        )
+        assert not spec.cacheable
+        engine.run_one(spec)
+        fresh_policy_spec = RunSpec(
+            "db",
+            "hotspot",
+            small_config,
+            policy=make_policy("hotspot", small_config),
+        )
+        engine.run_one(fresh_policy_spec)
+        assert engine.stats.simulations == 2
+        assert engine.stats.memory_hits == 0
+
+    def test_progress_callback_sees_every_cell(self, small_config):
+        events = []
+        engine = Engine(
+            memory_cache={}, progress=lambda p: events.append(p)
+        )
+        cells = [
+            RunSpec("db", scheme, small_config)
+            for scheme in ("baseline", "bbv")
+        ]
+        engine.run(cells)
+        assert [e.done for e in events] == [1, 2]
+        assert all(e.total == 2 for e in events)
+        assert {e.source for e in events} == {"simulated"}
+        engine.run(cells)
+        assert [e.done for e in events[2:]] == [1, 2]
+        assert {e.source for e in events[2:]} == {"memory"}
+
+
+class TestRetryAndTimeout:
+    def test_flaky_runner_retried(self, small_config):
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return run_benchmark(spec)
+
+        engine = Engine(
+            memory_cache={}, runner=flaky, max_retries=2
+        )
+        result = engine.run_one(RunSpec("db", "baseline", small_config))
+        assert result.benchmark == "db"
+        assert calls["n"] == 3
+        assert engine.stats.retries == 2
+        assert engine.stats.simulations == 1
+
+    def test_persistent_failure_raises(self, small_config):
+        def broken(spec):
+            raise RuntimeError("always broken")
+
+        engine = Engine(memory_cache={}, runner=broken, max_retries=1)
+        with pytest.raises(CellExecutionError) as excinfo:
+            engine.run_one(RunSpec("db", "baseline", small_config))
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, RuntimeError)
+
+    def test_cell_timeout_counts_and_raises(self, small_config):
+        # A 50 ms budget is far below any real simulation.
+        engine = Engine(
+            memory_cache={}, cell_timeout=0.05, max_retries=0
+        )
+        with pytest.raises(CellExecutionError) as excinfo:
+            engine.run_one(
+                RunSpec(
+                    "db",
+                    "baseline",
+                    ExperimentConfig(max_instructions=2_000_000),
+                )
+            )
+        assert isinstance(excinfo.value.cause, CellTimeout)
+        assert engine.stats.timeouts == 1
+
+
+class TestParallelParity:
+    def test_jobs2_bitwise_identical_to_serial(self, small_config):
+        names = ["db", "jess"]
+        serial = run_suite(
+            names,
+            small_config,
+            engine=Engine(use_cache=False, memory_cache={}),
+        )
+        parallel = run_suite(
+            names,
+            small_config,
+            engine=Engine(jobs=2, use_cache=False, memory_cache={}),
+        )
+        for name in names:
+            for scheme in ("baseline", "bbv", "hotspot"):
+                a = getattr(serial.comparisons[name], scheme)
+                b = getattr(parallel.comparisons[name], scheme)
+                assert a == b
+        for builder in (exhibits.figure3, exhibits.figure4,
+                        exhibits.table4):
+            serial_data = json.dumps(
+                builder(serial).data, sort_keys=True
+            )
+            parallel_data = json.dumps(
+                builder(parallel).data, sort_keys=True
+            )
+            assert serial_data == parallel_data
+
+
+class TestExperimentFacade:
+    def test_cached_run_uses_store_across_memory_clears(
+        self, isolated_store, small_config
+    ):
+        first = cached_run("db", "baseline", small_config)
+        assert len(isolated_store) == 1
+        clear_memory_cache()
+        second = cached_run("db", "baseline", small_config)
+        assert second == first
+
+    def test_clear_cache_wipes_both_layers(
+        self, isolated_store, small_config
+    ):
+        cached_run("db", "baseline", small_config)
+        assert len(isolated_store) == 1
+        clear_cache()
+        assert len(isolated_store) == 0
+
+    def test_clear_cache_can_keep_store(
+        self, isolated_store, small_config
+    ):
+        cached_run("db", "baseline", small_config)
+        clear_cache(include_store=False)
+        assert len(isolated_store) == 1
+
+    def test_compare_schemes_via_engine(
+        self, isolated_store, small_config
+    ):
+        comparison = compare_schemes("db", small_config)
+        assert comparison.baseline.scheme == "static"
+        assert comparison.bbv.scheme == "bbv"
+        assert comparison.hotspot.scheme == "hotspot"
+        assert len(isolated_store) == 3
+
+    def test_runspec_shim_equivalent_to_keyword_form(
+        self, isolated_store, small_config
+    ):
+        keyword = run_benchmark("db", "baseline", small_config)
+        spec = run_benchmark(RunSpec("db", "baseline", small_config))
+        assert keyword == spec
+
+    def test_sweep_parameter_routed_through_engine(
+        self, isolated_store, small_config
+    ):
+        from repro.sim.sweeps import sweep_parameter
+
+        points = sweep_parameter(
+            "hot_threshold",
+            [3, 5],
+            benchmark="db",
+            scheme="hotspot",
+            base_config=small_config,
+            max_instructions=BUDGET,
+        )
+        assert [p.value for p in points] == [3, 5]
+        # 2 values x (scheme + baseline) = 4 cells persisted.
+        assert len(isolated_store) == 4

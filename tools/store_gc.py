@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""List or prune entries of the persistent experiment result store.
+
+The store (default ``results/store/``, see ``repro.sim.store``) grows one
+JSON file per simulated ``(benchmark, scheme, config-fingerprint)`` cell
+and is never pruned automatically — entries stay valid for as long as
+their fingerprint matches a configuration someone still runs.  This tool
+is the maintenance side:
+
+List everything::
+
+    PYTHONPATH=src python tools/store_gc.py
+
+Prune entries older than 30 days::
+
+    PYTHONPATH=src python tools/store_gc.py --older-than-days 30 --prune
+
+Prune corrupt entries and entries with unknown schema versions (left by
+older/newer checkouts)::
+
+    PYTHONPATH=src python tools/store_gc.py --unknown-schema --prune
+
+Without ``--prune`` the tool only reports what it *would* delete.  To
+wipe the store completely, pass ``--all --prune`` (equivalent to
+``repro.sim.experiment.clear_cache()``'s store side).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.sim.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreEntryInfo,
+    default_store_dir,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="List or prune persistent experiment-store entries."
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="PATH",
+        help="store directory (default: results/store or $REPRO_STORE_DIR)",
+    )
+    parser.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="select entries created more than N days ago",
+    )
+    parser.add_argument(
+        "--unknown-schema",
+        action="store_true",
+        help="select corrupt entries and entries whose schema version is "
+        f"not the current one ({STORE_SCHEMA_VERSION})",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="select every entry"
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="actually delete the selected entries (default: dry run)",
+    )
+    return parser
+
+
+def selected(args, entry: StoreEntryInfo) -> bool:
+    if args.all:
+        return True
+    if args.unknown_schema and (entry.corrupt or not entry.known_schema):
+        return True
+    if (
+        args.older_than_days is not None
+        and entry.age_days() > args.older_than_days
+    ):
+        return True
+    return False
+
+
+def describe(entry: StoreEntryInfo) -> str:
+    if entry.corrupt:
+        detail = "CORRUPT"
+    else:
+        schema = (
+            f"v{entry.schema}"
+            if entry.known_schema
+            else f"UNKNOWN SCHEMA v{entry.schema}"
+        )
+        fingerprint = (entry.fingerprint or "?")[:12]
+        detail = (
+            f"{entry.benchmark}/{entry.scheme} fp={fingerprint} "
+            f"{schema} age={entry.age_days():.1f}d"
+        )
+    return f"{entry.path.name}: {detail}"
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = ResultStore(args.store_dir)
+    if not store.root.is_dir():
+        print(f"store {store.root} does not exist; nothing to do")
+        return 0
+    filtering = (
+        args.all or args.unknown_schema or args.older_than_days is not None
+    )
+    total = 0
+    chosen: List[StoreEntryInfo] = []
+    for entry in store.entries():
+        total += 1
+        if not filtering:
+            print(describe(entry))
+        elif selected(args, entry):
+            chosen.append(entry)
+    if not filtering:
+        print(f"{total} entr{'y' if total == 1 else 'ies'} in {store.root}")
+        return 0
+    verb = "pruning" if args.prune else "would prune"
+    for entry in chosen:
+        print(f"{verb} {describe(entry)}")
+        if args.prune:
+            try:
+                entry.path.unlink()
+            except OSError as error:
+                print(f"  failed: {error}", file=sys.stderr)
+    print(
+        f"{verb} {len(chosen)} of {total} "
+        f"entr{'y' if total == 1 else 'ies'} in {store.root}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
