@@ -6,17 +6,28 @@ Examples::
     python -m repro table4 --benchmarks db javac --instructions 2000000
     python -m repro all --instructions 6000000
     python -m repro quick   # one-benchmark smoke run
+    python -m repro run db --scheme hotspot --trace out.json --metrics
+
+The ``run`` command executes a single benchmark/scheme cell with
+telemetry: ``--trace PATH`` writes a Chrome-trace JSON loadable in
+``chrome://tracing`` / Perfetto (one track per CU, one per hotspot, the
+policy decision lane, and the engine worker lane), ``--metrics`` prints
+the event/metric summary tables, and ``--stats-json PATH`` (available on
+every command) dumps the engine's counters as machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-import time
+from time import perf_counter
 from typing import List, Optional
 
 from repro.report import exhibits
 from repro.sim.config import ExperimentConfig
+from repro.sim.driver import SCHEMES, RunSpec
 from repro.sim.experiment import run_suite
 from repro.workloads.specjvm import BENCHMARK_NAMES
 
@@ -54,9 +65,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "exhibit",
-        choices=ALL_EXHIBITS + ["all", "quick"],
+        choices=ALL_EXHIBITS + ["all", "quick", "run"],
         help="which exhibit to regenerate ('all' for every one, 'quick' "
-        "for a fast single-benchmark smoke run)",
+        "for a fast single-benchmark smoke run, 'run' for a single "
+        "traced benchmark/scheme cell)",
+    )
+    parser.add_argument(
+        "bench",
+        nargs="?",
+        choices=list(BENCHMARK_NAMES),
+        default=None,
+        help="benchmark for the 'run' command",
+    )
+    parser.add_argument(
+        "--scheme",
+        choices=list(SCHEMES),
+        default="hotspot",
+        help="adaptation scheme for the 'run' command (default: hotspot)",
     )
     parser.add_argument(
         "--benchmarks",
@@ -100,6 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent result store (in-memory cache only)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON (chrome://tracing / Perfetto) of "
+        "the tuning-event timeline ('run' command; forces a live, "
+        "uncached simulation)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry event/metric summary after the run",
+    )
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="dump the engine's stats counters (simulations, memory/store "
+        "hits, retries, timeouts) as JSON to PATH ('-' for stdout)",
+    )
     return parser
 
 
@@ -125,8 +170,89 @@ def configure_store(args) -> None:
         set_default_store(ResultStore(args.store_dir))
 
 
+def dump_stats_json(args, engine, elapsed: float) -> None:
+    """Satisfy ``--stats-json``: engine counters, machine-readable."""
+    if args.stats_json is None:
+        return
+    payload = dataclasses.asdict(engine.stats)
+    payload["elapsed_seconds"] = round(elapsed, 3)
+    payload["jobs"] = engine.jobs
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.stats_json == "-":
+        print(text)
+    else:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"(engine stats written to {args.stats_json})")
+
+
+def run_command(args) -> int:
+    """The ``run`` exhibit: one traced benchmark/scheme cell."""
+    from repro.obs import Telemetry, write_chrome_trace
+    from repro.sim.engine import Engine
+    from repro.sim.experiment import get_default_store
+
+    if args.bench is None:
+        print(
+            "error: 'run' needs a benchmark, e.g. "
+            "`python -m repro run db --scheme hotspot`",
+            file=sys.stderr,
+        )
+        return 2
+    tracing = args.trace is not None or args.metrics
+    telemetry = Telemetry() if tracing else None
+    configure_store(args)
+    # A traced run must observe live tuning decisions, so both cache
+    # layers are bypassed; an untraced run uses the normal layers.
+    engine = Engine(
+        jobs=1,
+        store=None if tracing else get_default_store(),
+        use_cache=not tracing,
+        telemetry=telemetry,
+    )
+    config = make_config(args)
+    start = perf_counter()
+    result = engine.run_one(RunSpec(args.bench, args.scheme, config))
+    elapsed = perf_counter() - start
+    print(
+        f"{result.benchmark}/{result.scheme}: "
+        f"{result.instructions:,} insns, {result.cycles:,.0f} cycles, "
+        f"IPC {result.ipc:.3f}"
+    )
+    print(
+        f"L1D {result.l1d_energy_nj / 1e3:.1f} uJ "
+        f"(miss rate {result.l1d_miss_rate:.2%}), "
+        f"L2 {result.l2_energy_nj / 1e3:.1f} uJ "
+        f"(miss rate {result.l2_miss_rate:.2%})"
+    )
+    print(
+        f"hotspots: {result.n_hotspots} detected, "
+        f"coverage {result.hotspot_coverage:.1%} "
+        f"({elapsed:.1f}s)"
+    )
+    if telemetry is not None:
+        if args.trace is not None:
+            path = write_chrome_trace(telemetry, args.trace)
+            log = telemetry.log
+            dropped = (
+                f", {log.dropped} dropped" if log.dropped else ""
+            )
+            print(
+                f"trace written to {path} "
+                f"({len(log)} events{dropped}; load in chrome://tracing "
+                f"or https://ui.perfetto.dev)"
+            )
+        if args.metrics:
+            print()
+            print(exhibits.timeline(telemetry).rendered)
+    dump_stats_json(args, engine, elapsed)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.exhibit == "run":
+        return run_command(args)
     if args.exhibit in STATIC_EXHIBITS:
         print(STATIC_EXHIBITS[args.exhibit]().rendered)
         return 0
@@ -140,7 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sim.experiment import compare_schemes
 
         config.max_instructions = min(config.max_instructions, 1_500_000)
-        start = time.time()
+        start = perf_counter()
         comparison = compare_schemes(
             (args.benchmarks or ["db"])[0], config, engine=engine
         )
@@ -155,12 +281,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"slowdown: BBV {comparison.slowdown('bbv'):.2%}, "
             f"hotspot {comparison.slowdown('hotspot'):.2%}"
         )
-        print(f"({time.time() - start:.1f}s)")
+        elapsed = perf_counter() - start
+        print(f"({elapsed:.1f}s)")
+        dump_stats_json(args, engine, elapsed)
         return 0
 
-    start = time.time()
+    start = perf_counter()
     suite = run_suite(args.benchmarks, config, engine=engine)
-    elapsed = time.time() - start
+    elapsed = perf_counter() - start
     wanted = (
         ALL_EXHIBITS if args.exhibit == "all" else [args.exhibit]
     )
@@ -176,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"simulated, {stats.memory_hits} memory hits, "
         f"{stats.store_hits} store hits, jobs={args.jobs})"
     )
+    dump_stats_json(args, engine, elapsed)
     return 0
 
 

@@ -15,7 +15,7 @@ that rule for any CU population, which is what makes the framework
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 #: Band bounds relative to a CU's reconfiguration interval.
 LOWER_FACTOR = 0.5

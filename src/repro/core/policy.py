@@ -26,6 +26,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.cu_assignment import SizeClassifier
 from repro.core.prediction import FootprintPredictor
+from repro.obs.events import (
+    CONFIG_DEMOTED,
+    CONFIG_PINNED,
+    CONFIG_TRIED,
+    HOTSPOT_UNMANAGED,
+    NULL_TELEMETRY,
+    SAMPLING_RETUNE,
+    TUNING_STARTED,
+)
 from repro.core.tuning import (
     Config,
     HotspotTuningState,
@@ -169,12 +178,14 @@ class HotspotACEPolicy(AdaptationHooks):
         self._cov_depth: Dict[str, List[int]] = {}
         self.vm: Optional[VirtualMachine] = None
         self.machine = None
+        self.telemetry = NULL_TELEMETRY
 
     # -- VM lifecycle ----------------------------------------------------------
 
     def attach(self, vm: VirtualMachine) -> None:
         self.vm = vm
         self.machine = vm.machine
+        self.telemetry = vm.telemetry
         if self._classifier is None:
             self._classifier = SizeClassifier.from_machine(vm.machine)
         n_threads = len(vm.threads)
@@ -222,8 +233,18 @@ class HotspotACEPolicy(AdaptationHooks):
                 else ()
             )
         self.kind_of[hotspot.name] = self.classifier.classify_kind(size)
+        telemetry = self.telemetry
         if not cu_names:
             self.unmanaged.append(hotspot.name)
+            if telemetry.enabled:
+                telemetry.emit(
+                    HOTSPOT_UNMANAGED,
+                    ts=self.machine.instructions,
+                    hotspot=hotspot.name,
+                    kind=self.kind_of[hotspot.name],
+                    mean_size=size,
+                )
+                telemetry.metrics.counter("policy.unmanaged").inc()
             return
         config_list, predicted = self._config_list(hotspot, cu_names)
         state = HotspotTuningState(
@@ -241,8 +262,27 @@ class HotspotACEPolicy(AdaptationHooks):
             state.begin_verification()
             self.ever_tuned[hotspot.name] = True
             self.warm_started += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    CONFIG_PINNED,
+                    ts=self.machine.instructions,
+                    hotspot=hotspot.name,
+                    config=list(inherited),
+                    source="warm_start",
+                )
+                telemetry.metrics.counter("policy.warm_starts").inc()
             self._install_configured(hotspot.name)
             return
+        if telemetry.enabled:
+            telemetry.emit(
+                TUNING_STARTED,
+                ts=self.machine.instructions,
+                hotspot=hotspot.name,
+                kind=self.kind_of[hotspot.name],
+                cus=",".join(cu_names),
+                n_configs=len(config_list),
+            )
+            telemetry.metrics.counter("policy.tunings_started").inc()
         self._install_tuning(hotspot.name)
 
     def _config_list(
@@ -375,12 +415,38 @@ class HotspotACEPolicy(AdaptationHooks):
         outcome = TuningOutcome(
             token.config, mean_ipc, total_energy / total_insns, total_insns
         )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                CONFIG_TRIED,
+                ts=self.machine.instructions,
+                hotspot=hotspot.name,
+                config=list(token.config),
+                ipc=mean_ipc,
+                energy_per_insn=total_energy / total_insns,
+            )
+            telemetry.metrics.counter("policy.configs_tried").inc()
         if state.record(
             outcome,
             self.tuning.performance_threshold,
             self.tuning.objective,
         ):
             self.ever_tuned[hotspot.name] = True
+            if telemetry.enabled:
+                telemetry.emit(
+                    CONFIG_PINNED,
+                    ts=self.machine.instructions,
+                    hotspot=hotspot.name,
+                    config=list(state.best.config) if state.best else [],
+                    trials=len(state.outcomes),
+                    aborted_early=state.aborted_early,
+                )
+                telemetry.metrics.counter("policy.configs_pinned").inc()
+                detected_at = hotspot.profile.detected_at
+                if detected_at is not None:
+                    telemetry.metrics.histogram(
+                        "policy.detect_to_pin_insns"
+                    ).observe(self.machine.instructions - detected_at)
             self._install_configured(hotspot.name)
 
     # -- configuration code (hotspot entry, CONFIGURED phase) ------------------------------
@@ -446,6 +512,17 @@ class HotspotACEPolicy(AdaptationHooks):
             )
             if outcome == "demoted":
                 self.demotions += 1
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    telemetry.emit(
+                        CONFIG_DEMOTED,
+                        ts=self.machine.instructions,
+                        hotspot=hotspot.name,
+                        config=(
+                            list(state.best.config) if state.best else []
+                        ),
+                    )
+                    telemetry.metrics.counter("policy.demotions").inc()
             return
         state.observe_configured_ipc(ipc)
         if not self.enable_retuning:
@@ -468,6 +545,16 @@ class HotspotACEPolicy(AdaptationHooks):
     def _retune(self, hotspot: HotspotInfo, state: HotspotTuningState) -> None:
         """Behaviour drifted: re-run the tuning process (paper §3.3)."""
         self.retunes += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                SAMPLING_RETUNE,
+                ts=self.machine.instructions,
+                hotspot=hotspot.name,
+                configured_ipc=state.configured_ipc or 0.0,
+                recent_ipc=state.recent_ipc or 0.0,
+            )
+            telemetry.metrics.counter("policy.retunes").inc()
         self._pending_measurements.pop(hotspot.name, None)
         size = hotspot.mean_size
         if self.decoupling:

@@ -1,0 +1,203 @@
+"""Exporters for a telemetry session: JSONL, Chrome trace, markdown.
+
+Three views of the same :class:`~repro.obs.events.EventLog`:
+
+* :func:`write_jsonl` — one JSON object per event, for ad-hoc grepping
+  and downstream tooling;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format JSON that ``chrome://tracing`` and Perfetto load.  Simulated
+  time and wall time are separate trace *processes*; every CU, the
+  policy, each hotspot, and each engine worker gets its own *thread*
+  (track).  Simulated timestamps use retired instructions as the
+  microsecond field — Perfetto's "µs" then simply reads "instructions";
+* :func:`timeline_markdown` / :func:`summary_markdown` — the report-layer
+  form (`repro.report.exhibits.timeline`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.events import (
+    EventLog,
+    HOTSPOT_INVOKE,
+    Telemetry,
+)
+
+#: Trace-process ids: simulated-clock tracks vs. wall-clock tracks.
+SIM_PID = 1
+ENGINE_PID = 2
+
+
+def _log_of(source: Union[Telemetry, EventLog]) -> EventLog:
+    return source.log if isinstance(source, Telemetry) else source
+
+
+def write_jsonl(
+    source: Union[Telemetry, EventLog], path: Union[str, Path]
+) -> int:
+    """Write one JSON object per event; returns the number written."""
+    log = _log_of(source)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in log:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(log)
+
+
+def _track_order(track: str) -> tuple:
+    """Stable display order: CUs, then policy/vm lanes, then the rest."""
+    if track.startswith("CU:"):
+        return (0, track)
+    if track in ("policy", "vm"):
+        return (1, track)
+    if track.startswith("hotspot:"):
+        return (2, track)
+    if track.startswith("worker:"):
+        return (3, track)
+    return (4, track)
+
+
+def chrome_trace(source: Union[Telemetry, EventLog]) -> Dict[str, object]:
+    """Build a ``chrome://tracing`` / Perfetto-loadable trace dict.
+
+    Decision events become instants (``ph: "i"``); events carrying a
+    duration (hotspot invocations, engine cells) become complete spans
+    (``ph: "X"``).
+    """
+    log = _log_of(source)
+    tids: Dict[tuple, int] = {}
+    trace_events: List[Dict[str, object]] = [
+        {
+            "ph": "M", "pid": SIM_PID, "tid": 0,
+            "name": "process_name",
+            "args": {"name": "simulation (ts = instructions)"},
+        },
+        {
+            "ph": "M", "pid": ENGINE_PID, "tid": 0,
+            "name": "process_name",
+            "args": {"name": "engine (ts = wall-clock us)"},
+        },
+    ]
+    for track in sorted(log.tracks(), key=_track_order):
+        pid = ENGINE_PID if track.startswith("worker:") or track == "engine" \
+            else SIM_PID
+        tid = len(tids) + 1
+        tids[(pid, track)] = tid
+        trace_events.append(
+            {
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name", "args": {"name": track},
+            }
+        )
+    body: List[Dict[str, object]] = []
+    for event in log:
+        pid = ENGINE_PID if event.wall_clock else SIM_PID
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": "engine" if event.wall_clock else "tuning",
+            "pid": pid,
+            "tid": tids.get((pid, event.track), 0),
+            "ts": event.ts,
+        }
+        if event.dur:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if event.args:
+            record["args"] = dict(event.args)
+        body.append(record)
+    body.sort(key=lambda r: (r["pid"], r["ts"]))
+    trace_events.extend(body)
+    payload: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_events": log.dropped,
+        },
+    }
+    if isinstance(source, Telemetry):
+        payload["otherData"]["metrics"] = source.metrics.to_dict()
+    return payload
+
+
+def write_chrome_trace(
+    source: Union[Telemetry, EventLog], path: Union[str, Path]
+) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(source), handle, separators=(",", ":"))
+    return path
+
+
+def _compact_args(args: Dict[str, object], limit: int = 58) -> str:
+    parts = []
+    for key, value in args.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3g}")
+        else:
+            parts.append(f"{key}={value}")
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def timeline_markdown(
+    source: Union[Telemetry, EventLog],
+    max_rows: int = 40,
+    include_spans: bool = False,
+) -> str:
+    """Markdown table of the decision timeline, in timestamp order.
+
+    Per-invocation :data:`HOTSPOT_INVOKE` spans are elided by default —
+    they dominate counts without adding decision information.
+    """
+    log = _log_of(source)
+    rows = [
+        event
+        for event in log
+        if include_spans or event.name != HOTSPOT_INVOKE
+    ]
+    rows.sort(key=lambda e: (e.wall_clock, e.ts))
+    elided = max(0, len(rows) - max_rows)
+    rows = rows[:max_rows]
+    lines = [
+        "| ts | track | event | detail |",
+        "|---:|-------|-------|--------|",
+    ]
+    for event in rows:
+        unit = "us" if event.wall_clock else ""
+        lines.append(
+            f"| {event.ts:.0f}{unit} | {event.track} | {event.name} "
+            f"| {_compact_args(event.args)} |"
+        )
+    if elided:
+        lines.append(f"| … | | | ({elided} more rows elided) |")
+    return "\n".join(lines)
+
+
+def summary_markdown(source: Union[Telemetry, EventLog]) -> str:
+    """Event-count table plus (for a live session) the metrics table."""
+    log = _log_of(source)
+    counts = log.counts()
+    lines = ["| event | count |", "|-------|------:|"]
+    for name, count in counts.items():
+        lines.append(f"| {name} | {count} |")
+    if not counts:
+        lines.append("| (no events recorded) | 0 |")
+    if log.dropped:
+        lines.append(f"| (dropped past buffer cap) | {log.dropped} |")
+    text = "\n".join(lines)
+    if isinstance(source, Telemetry) and len(source.metrics):
+        text += "\n\n" + source.metrics.render_markdown()
+    return text

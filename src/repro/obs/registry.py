@@ -1,0 +1,269 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+The registry is the aggregate side of :mod:`repro.obs` — where the event
+log answers *when* a tuning decision happened, the registry answers *how
+often* and *how much*.  Instruments are created on first use
+(``registry.counter("policy.config_tried").inc()``) so emit sites never
+need set-up code, and every instrument renders into the plain-dict /
+markdown forms the report layer consumes.
+
+A :class:`NullMetricsRegistry` provides the disabled path: it hands out
+shared no-op instruments, so instrumented code is branch-free —
+``telemetry.metrics.counter(name).inc()`` works identically whether
+telemetry is live or off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value (e.g. a current CU setting)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+#: Default histogram buckets, tuned for per-decision latencies expressed
+#: in instructions (tuning-walk lengths, detect-to-pin distances).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+
+class Histogram:
+    """Bucketed distribution with streaming count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ):
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r}: bucket bounds must be sorted"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                (f"le_{bound:g}" if i < len(self.bounds) else "inf"): n
+                for i, (bound, n) in enumerate(
+                    zip(self.bounds + (float("inf"),), self.bucket_counts)
+                )
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.1f})"
+        )
+
+
+class MetricsRegistry:
+    """Name-addressed collection of instruments (created on first use)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, expected_kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != expected_kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {expected_kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(name, buckets), "histogram"
+        )
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Plain-JSON form, sorted by metric name."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in self.names()
+        }
+
+    def render_markdown(self) -> str:
+        """Two-column markdown table of every instrument's headline value."""
+        rows = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.kind == "histogram":
+                value = (
+                    f"n={instrument.count} mean={instrument.mean:.1f} "
+                    f"max={instrument.max if instrument.max is not None else '-'}"
+                )
+            else:
+                value = str(instrument.value)
+            rows.append((name, instrument.kind, value))
+        name_w = max([len("metric")] + [len(r[0]) for r in rows])
+        kind_w = max([len("kind")] + [len(r[1]) for r in rows])
+        lines = [
+            f"| {'metric'.ljust(name_w)} | {'kind'.ljust(kind_w)} | value |",
+            f"|{'-' * (name_w + 2)}|{'-' * (kind_w + 2)}|-------|",
+        ]
+        for name, kind, value in rows:
+            lines.append(
+                f"| {name.ljust(name_w)} | {kind.ljust(kind_w)} | {value} |"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} instruments)"
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Registry that records nothing (the disabled-telemetry path)."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def render_markdown(self) -> str:
+        return "(telemetry disabled)"
+
+    def __repr__(self) -> str:
+        return "NullMetricsRegistry()"

@@ -12,8 +12,8 @@ intervals; single-interval occurrences are transitional.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.phases.bbv import BBVector, manhattan_distance, normalize
 

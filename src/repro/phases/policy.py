@@ -24,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.tuning import TuningConfig, TuningOutcome
+from repro.obs.events import (
+    CONFIG_DEMOTED,
+    CONFIG_PINNED,
+    CONFIG_TRIED,
+    NULL_TELEMETRY,
+    PHASE_TRANSITION,
+)
 from repro.phases.bbv import BBVAccumulator, BBVConfig
 from repro.phases.classifier import PhaseClassifier, PhaseOccurrenceStats
 from repro.phases.tuner import Config, PhaseTuningEntry
@@ -122,12 +129,15 @@ class BBVACEPolicy(AdaptationHooks):
         self.cu_names: Tuple[str, ...] = ()
         self.vm: Optional[VirtualMachine] = None
         self.machine = None
+        self.telemetry = NULL_TELEMETRY
+        self._last_pid: Optional[int] = None
 
     # -- VM lifecycle -------------------------------------------------------
 
     def attach(self, vm: VirtualMachine) -> None:
         self.vm = vm
         self.machine = vm.machine
+        self.telemetry = vm.telemetry
         # Order CUs by descending reconfiguration interval: the cartesian
         # configuration walk varies the *last* CU fastest, so the cheapest
         # CU steps every trial while the expensive one steps only once per
@@ -226,6 +236,17 @@ class BBVACEPolicy(AdaptationHooks):
         machine = self.machine
         vector = self.accumulator.harvest()
         pid, _, run_length = self.classifier.classify(vector)
+        telemetry = self.telemetry
+        if telemetry.enabled and pid != self._last_pid:
+            telemetry.emit(
+                PHASE_TRANSITION,
+                ts=machine.instructions,
+                phase_from=self._last_pid,
+                phase_to=pid,
+                interval=index,
+            )
+            telemetry.metrics.counter("bbv.phase_transitions").inc()
+        self._last_pid = pid
         snapshot = machine.snapshot()
         delta = snapshot.delta(self._last_snapshot)
         if delta.cycles > 0:
@@ -266,6 +287,18 @@ class BBVACEPolicy(AdaptationHooks):
                 )
                 if result == "demoted":
                     self.demotions += 1
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            CONFIG_DEMOTED,
+                            ts=machine.instructions,
+                            phase=vpid,
+                            config=(
+                                list(entry.best.config)
+                                if entry.best
+                                else []
+                            ),
+                        )
+                        telemetry.metrics.counter("bbv.demotions").inc()
 
         # Credit or discard the in-flight trial.
         if self._in_flight is not None:
@@ -284,7 +317,17 @@ class BBVACEPolicy(AdaptationHooks):
                     delta.tuning_energy_metric(cu_name, machine)
                     for cu_name in self.cu_names
                 )
-                entry.record(
+                if telemetry.enabled:
+                    telemetry.emit(
+                        CONFIG_TRIED,
+                        ts=machine.instructions,
+                        phase=trial_pid,
+                        config=list(config),
+                        ipc=delta.ipc,
+                        energy_per_insn=energy / delta.instructions,
+                    )
+                    telemetry.metrics.counter("bbv.configs_tried").inc()
+                completed = entry.record(
                     TuningOutcome(
                         config,
                         delta.ipc,
@@ -294,8 +337,20 @@ class BBVACEPolicy(AdaptationHooks):
                     self.tuning.performance_threshold,
                     self.tuning.objective,
                 )
+                if completed and telemetry.enabled:
+                    telemetry.emit(
+                        CONFIG_PINNED,
+                        ts=machine.instructions,
+                        phase=trial_pid,
+                        config=(
+                            list(entry.best.config) if entry.best else []
+                        ),
+                        trials=len(entry.outcomes),
+                    )
+                    telemetry.metrics.counter("bbv.configs_pinned").inc()
             else:
                 self.discarded_trials += 1
+                telemetry.metrics.counter("bbv.discarded_trials").inc()
 
         # Choose the next interval's configuration.
         stable = run_length >= self.bbv.stable_min_intervals

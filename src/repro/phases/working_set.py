@@ -16,7 +16,7 @@ belong to the same phase when the *relative signature distance*
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.phases.classifier import PhaseClassifier
 

@@ -466,6 +466,40 @@ def energy_breakdown(suite) -> ExhibitResult:
     return ExhibitResult("energy_breakdown", rendered, data)
 
 
+# ---------------------------------------------------------------------------
+# Tuning timeline — telemetry exhibit (not in the paper; debugging aid)
+# ---------------------------------------------------------------------------
+
+
+def timeline(telemetry) -> ExhibitResult:
+    """Render a traced run's tuning-event timeline and metric summary.
+
+    Unlike the paper exhibits this one consumes a
+    :class:`repro.obs.Telemetry` session (from a ``--trace``/``--metrics``
+    run), not suite results.  The structured payload carries the raw
+    event dicts so harnesses can assert on the detect→tune→pin sequence
+    without re-parsing the rendered text.
+    """
+    from repro.obs import summary_markdown, timeline_markdown
+
+    rendered = (
+        timeline_markdown(telemetry)
+        + "\n\n"
+        + summary_markdown(telemetry)
+    )
+    return ExhibitResult(
+        "timeline",
+        rendered,
+        {
+            "events": [event.to_dict() for event in telemetry.log],
+            "counts": telemetry.log.counts(),
+            "tracks": telemetry.log.tracks(),
+            "dropped": telemetry.log.dropped,
+            "metrics": telemetry.metrics.to_dict(),
+        },
+    )
+
+
 #: Reference to the paper's values, re-exported for convenience.
 PAPER_VALUES = PAPER
 

@@ -7,7 +7,7 @@ refreshed measured sections in the same format.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.report.exhibits import ExhibitResult
 

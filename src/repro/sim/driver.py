@@ -13,10 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.policy import HotspotACEPolicy, HotspotPolicyStats
-from repro.core.prediction import (
-    FootprintPredictor,
-    install_program_for_prediction,
-)
+from repro.core.prediction import install_program_for_prediction
 from repro.phases.policy import BBVACEPolicy, BBVPolicyStats
 from repro.sim.config import ExperimentConfig, build_machine
 from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
@@ -219,8 +216,16 @@ def run_benchmark(
     )
 
 
-def execute(spec: RunSpec) -> RunResult:
-    """Execute one :class:`RunSpec` cell (always simulates; no caching)."""
+def execute(spec: RunSpec, telemetry=None) -> RunResult:
+    """Execute one :class:`RunSpec` cell (always simulates; no caching).
+
+    ``telemetry`` is an optional :class:`repro.obs.Telemetry` session;
+    when given, the VM, the machine model, and the adaptation policy all
+    emit their decision timeline into it.  The result bundle itself is
+    unchanged — telemetry stays on the side channel, never in
+    :class:`RunResult` (cached results must not depend on whether a run
+    was traced).
+    """
     config = spec.config or ExperimentConfig()
     scheme = spec.scheme
     policy = spec.policy
@@ -248,6 +253,7 @@ def execute(spec: RunSpec) -> RunResult:
         config=vm_config,
         thread_entries=built.thread_entries,
         preload_database=preload_database,
+        telemetry=telemetry,
     )
     vm.run(max_instructions or config.max_instructions)
 

@@ -32,6 +32,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import (
+    CELL_DONE,
+    CELL_START,
+    MEMORY_HIT,
+    NULL_TELEMETRY,
+    RETRY,
+    STORE_HIT,
+    TIMEOUT,
+)
 from repro.sim.driver import RunResult, RunSpec, execute
 from repro.sim.store import ResultStore
 
@@ -98,7 +107,9 @@ class CellProgress:
 ProgressCallback = Callable[[CellProgress], None]
 
 
-def _run_with_alarm(spec: RunSpec, timeout: Optional[float]) -> RunResult:
+def _run_with_alarm(
+    spec: RunSpec, timeout: Optional[float], telemetry=None
+) -> RunResult:
     """Execute a cell, bounded by SIGALRM when a timeout is requested.
 
     SIGALRM interrupts pure-Python simulation loops reliably on POSIX; it
@@ -109,7 +120,7 @@ def _run_with_alarm(spec: RunSpec, timeout: Optional[float]) -> RunResult:
         or timeout <= 0
         or threading.current_thread() is not threading.main_thread()
     ):
-        return execute(spec)
+        return execute(spec, telemetry=telemetry)
 
     def _on_alarm(signum, frame):
         raise CellTimeout(
@@ -120,7 +131,7 @@ def _run_with_alarm(spec: RunSpec, timeout: Optional[float]) -> RunResult:
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute(spec)
+        return execute(spec, telemetry=telemetry)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
@@ -156,6 +167,15 @@ class Engine:
     runner:
         Test/extension hook replacing :func:`repro.sim.driver.execute`;
         forces serial in-process execution.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` session.  The engine emits
+        wall-clock scheduling events into it (``cell_start``,
+        ``cell_done``, ``store_hit``, ``memory_hit``, ``retry``,
+        ``timeout``); cells executed *serially* additionally stream
+        their simulation-side tuning events into the same session.
+        Pool workers run in other processes, so their simulation events
+        are not captured — trace a single cell with ``jobs=1`` for the
+        full timeline.
     """
 
     def __init__(
@@ -168,6 +188,7 @@ class Engine:
         progress: Optional[ProgressCallback] = None,
         runner: Optional[Callable[[RunSpec], RunResult]] = None,
         memory_cache: Optional[Dict] = None,
+        telemetry=None,
     ):
         self.jobs = max(1, int(jobs))
         self.store = store
@@ -179,6 +200,7 @@ class Engine:
         self._memory = (
             _MEMORY_CACHE if memory_cache is None else memory_cache
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = EngineStats()
 
     # -- public API --------------------------------------------------------
@@ -231,12 +253,24 @@ class Engine:
         key = spec.cache_key()
         if key in self._memory:
             self.stats.memory_hits += 1
+            self.telemetry.emit_wall(
+                MEMORY_HIT,
+                benchmark=spec.benchmark_name,
+                scheme=spec.scheme,
+            )
+            self.telemetry.metrics.counter("engine.memory_hits").inc()
             return self._memory[key], SOURCE_MEMORY
         if self.store is not None:
             result = self.store.get(*key)
             if result is not None:
                 self._memory[key] = result
                 self.stats.store_hits += 1
+                self.telemetry.emit_wall(
+                    STORE_HIT,
+                    benchmark=spec.benchmark_name,
+                    scheme=spec.scheme,
+                )
+                self.telemetry.metrics.counter("engine.store_hits").inc()
                 return result, SOURCE_STORE
         return None
 
@@ -283,24 +317,62 @@ class Engine:
         )
 
     def _run_serial(self, spec: RunSpec) -> RunResult:
+        telemetry = self.telemetry
         attempts = 0
         while True:
             attempts += 1
+            started = telemetry.now_us()
+            telemetry.emit_wall(
+                CELL_START,
+                track="worker:0",
+                ts=started,
+                benchmark=spec.benchmark_name,
+                scheme=spec.scheme,
+                attempt=attempts,
+            )
             try:
                 if self.runner is not None:
                     result = self.runner(spec)
                 else:
-                    result = _run_with_alarm(spec, self.cell_timeout)
+                    result = _run_with_alarm(
+                        spec,
+                        self.cell_timeout,
+                        telemetry if telemetry.enabled else None,
+                    )
                 break
             except Exception as error:  # noqa: BLE001 — retry boundary
                 if isinstance(error, CellTimeout):
                     self.stats.timeouts += 1
+                    telemetry.emit_wall(
+                        TIMEOUT,
+                        track="worker:0",
+                        benchmark=spec.benchmark_name,
+                        scheme=spec.scheme,
+                    )
+                    telemetry.metrics.counter("engine.timeouts").inc()
                 if attempts > self.max_retries:
                     raise CellExecutionError(
                         spec, attempts, error
                     ) from error
                 self.stats.retries += 1
+                telemetry.emit_wall(
+                    RETRY,
+                    track="worker:0",
+                    benchmark=spec.benchmark_name,
+                    scheme=spec.scheme,
+                    attempt=attempts,
+                )
+                telemetry.metrics.counter("engine.retries").inc()
         self.stats.simulations += 1
+        telemetry.emit_wall(
+            CELL_DONE,
+            track="worker:0",
+            ts=started,
+            dur=telemetry.now_us() - started,
+            benchmark=spec.benchmark_name,
+            scheme=spec.scheme,
+        )
+        telemetry.metrics.counter("engine.simulations").inc()
         self._record(spec, result)
         self._notify(spec, SOURCE_SIMULATED)
         return result
@@ -311,16 +383,38 @@ class Engine:
         indices: List[int],
         results: List[Optional[RunResult]],
     ) -> None:
+        telemetry = self.telemetry
         attempts: Dict[int, int] = {i: 0 for i in indices}
+        # Display lanes: one telemetry track per pool slot (round-robin
+        # by submission order — a visualization aid, not a scheduler map).
+        lanes: Dict[int, int] = {}
+        submitted_at: Dict[int, float] = {}
+        submissions = 0
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {}
-            for index in indices:
+
+            def _submit(index: int) -> None:
+                nonlocal submissions
                 attempts[index] += 1
+                lanes.setdefault(index, submissions % self.jobs)
+                submissions += 1
+                submitted_at[index] = telemetry.now_us()
+                telemetry.emit_wall(
+                    CELL_START,
+                    track=f"worker:{lanes[index]}",
+                    ts=submitted_at[index],
+                    benchmark=specs[index].benchmark_name,
+                    scheme=specs[index].scheme,
+                    attempt=attempts[index],
+                )
                 futures[
                     pool.submit(
                         _pool_worker, (specs[index], self.cell_timeout)
                     )
                 ] = index
+
+            for index in indices:
+                _submit(index)
             while futures:
                 finished, _ = wait(
                     list(futures), return_when=FIRST_COMPLETED
@@ -328,16 +422,35 @@ class Engine:
                 for future in finished:
                     index = futures.pop(future)
                     spec = specs[index]
+                    track = f"worker:{lanes[index]}"
                     error = future.exception()
                     if error is None:
                         result = future.result()
                         results[index] = result
                         self.stats.simulations += 1
+                        telemetry.emit_wall(
+                            CELL_DONE,
+                            track=track,
+                            ts=submitted_at[index],
+                            dur=telemetry.now_us() - submitted_at[index],
+                            benchmark=spec.benchmark_name,
+                            scheme=spec.scheme,
+                        )
+                        telemetry.metrics.counter(
+                            "engine.simulations"
+                        ).inc()
                         self._record(spec, result)
                         self._notify(spec, SOURCE_SIMULATED)
                         continue
                     if isinstance(error, CellTimeout):
                         self.stats.timeouts += 1
+                        telemetry.emit_wall(
+                            TIMEOUT,
+                            track=track,
+                            benchmark=spec.benchmark_name,
+                            scheme=spec.scheme,
+                        )
+                        telemetry.metrics.counter("engine.timeouts").inc()
                     if attempts[index] > self.max_retries:
                         for other in futures:
                             other.cancel()
@@ -345,10 +458,12 @@ class Engine:
                             spec, attempts[index], error
                         ) from error
                     self.stats.retries += 1
-                    attempts[index] += 1
-                    futures[
-                        pool.submit(
-                            _pool_worker,
-                            (specs[index], self.cell_timeout),
-                        )
-                    ] = index
+                    telemetry.emit_wall(
+                        RETRY,
+                        track=track,
+                        benchmark=spec.benchmark_name,
+                        scheme=spec.scheme,
+                        attempt=attempts[index],
+                    )
+                    telemetry.metrics.counter("engine.retries").inc()
+                    _submit(index)

@@ -7,7 +7,7 @@ deviation / mean, as a percentage) for per-phase and inter-phase IPC
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 def mean(values: Sequence[float]) -> float:

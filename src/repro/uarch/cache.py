@@ -33,6 +33,7 @@ class CacheStats:
         "fills",
         "flushes",
         "flushed_dirty_lines",
+        "resizes",
     )
 
     def __init__(self) -> None:
@@ -44,6 +45,7 @@ class CacheStats:
         self.fills = 0
         self.flushes = 0
         self.flushed_dirty_lines = 0
+        self.resizes = 0
 
     @property
     def accesses(self) -> int:
@@ -313,6 +315,7 @@ class Cache:
             )
         if new_size == self.size:
             return []
+        self.stats.resizes += 1
         if self.resize_policy == "flush":
             dirty = self.flush()
             self._configure(new_size)

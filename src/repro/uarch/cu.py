@@ -56,6 +56,12 @@ class ConfigurableUnit(abc.ABC):
         self.settings: Tuple[object, ...] = tuple(settings)
         self.reconfiguration_interval = reconfiguration_interval
         self._current_index = 0
+        #: Applied setting changes over the CU's lifetime.
+        self.applies = 0
+        #: Requests for the already-current setting (free, not a
+        #: reconfiguration) — the "ignored by the hardware" counter the
+        #: telemetry summary reports alongside applied/denied.
+        self.noop_applies = 0
 
     @property
     def current_index(self) -> int:
@@ -80,9 +86,11 @@ class ConfigurableUnit(abc.ABC):
                 f"0..{len(self.settings) - 1}"
             )
         if index == self._current_index:
+            self.noop_applies += 1
             return ReconfigCost()
         cost = self._reconfigure(index)
         self._current_index = index
+        self.applies += 1
         return cost
 
     @abc.abstractmethod

@@ -11,9 +11,15 @@ snapshots for measuring a configuration's quality.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.energy.model import EnergyModel
+from repro.obs.events import (
+    CACHE_RESIZE,
+    NULL_TELEMETRY,
+    RECONFIG_APPLIED,
+    RECONFIG_DENIED,
+)
 from repro.trace.events import BlockEvent
 from repro.uarch.cu import ConfigurableUnit
 from repro.uarch.hierarchy import CacheHierarchy
@@ -181,6 +187,8 @@ class MachineModel:
         )
         self.l1d_cu_name = hierarchy.l1d.name
         self.l2_cu_name = hierarchy.l2.name
+        #: Telemetry sink; the VM swaps in a live session when tracing.
+        self.telemetry = NULL_TELEMETRY
 
     # -- execution hot path -------------------------------------------------
 
@@ -243,13 +251,40 @@ class MachineModel:
         cu = self.cus[cu_name]
         if index == cu.current_index:
             return True
+        telemetry = self.telemetry
         if not self.guard.request(cu_name, self.instructions):
             self.denied_reconfigurations[cu_name] += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    RECONFIG_DENIED,
+                    ts=self.instructions,
+                    track=f"CU:{cu_name}",
+                    actor=actor,
+                    wanted=cu.describe_setting(index),
+                )
+                telemetry.metrics.counter(
+                    f"machine.reconfigs_denied.{cu_name}"
+                ).inc()
             return False
         from_index = cu.current_index
         cost = cu.apply(index)
         self.registers.write(cu_name, index)
         self.applied_reconfigurations[cu_name] += 1
+        if telemetry.enabled:
+            is_cache = cu_name in (self.l1d_cu_name, self.l2_cu_name)
+            telemetry.emit(
+                CACHE_RESIZE if is_cache else RECONFIG_APPLIED,
+                ts=self.instructions,
+                track=f"CU:{cu_name}",
+                actor=actor,
+                setting_from=cu.describe_setting(from_index),
+                setting_to=cu.describe_setting(index),
+                dirty_lines=cost.dirty_lines,
+            )
+            telemetry.metrics.counter(
+                f"machine.reconfigs_applied.{cu_name}"
+            ).inc()
+            telemetry.metrics.gauge(f"machine.setting.{cu_name}").set(index)
         self._charge_reconfiguration(cu_name, cost)
         if self.reconfiguration_log is not None:
             self.reconfiguration_log.append(

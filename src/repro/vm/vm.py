@@ -28,6 +28,11 @@ from repro.isa.program import (
     Program,
     Return,
 )
+from repro.obs.events import (
+    HOTSPOT_DETECTED,
+    HOTSPOT_INVOKE,
+    NULL_TELEMETRY,
+)
 from repro.trace.events import BlockEvent
 from repro.uarch.machine import MachineModel
 from repro.vm.activation import ThreadContext
@@ -114,6 +119,7 @@ class VirtualMachine:
         config: Optional[VMConfig] = None,
         thread_entries: Optional[Sequence[str]] = None,
         preload_database: Optional[DODatabase] = None,
+        telemetry=None,
     ):
         if not program.is_laid_out:
             raise ValueError(
@@ -132,6 +138,8 @@ class VirtualMachine:
             ThreadContext(i, program, entry, self.config.seed + 7919 * i)
             for i, entry in enumerate(entries)
         ]
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        machine.telemetry = self.telemetry
         self.database = preload_database or DODatabase()
         self.detector = HotspotDetector(
             self.database, self.config.hot_threshold
@@ -170,6 +178,17 @@ class VirtualMachine:
             self._charge_cycles(
                 self.jit.optimize_hotspot(method, machine.instructions)
             )
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.emit(
+                    HOTSPOT_DETECTED,
+                    ts=machine.instructions,
+                    track="vm",
+                    method=method.name,
+                    invocations=newly_hot.profile.invocations,
+                    mean_size=newly_hot.mean_size,
+                )
+                telemetry.metrics.counter("vm.hotspots_detected").inc()
             self.policy.on_hotspot_detected(newly_hot, self)
         activation = thread.push(method)
         activation.entry_instructions = machine.instructions
@@ -197,6 +216,14 @@ class VirtualMachine:
             stub = self.jit.exit_stub(name)
             if stub is not None:
                 stub.fn(info, activation, self)
+            telemetry = self.telemetry
+            if telemetry.enabled and inclusive > 0:
+                telemetry.emit(
+                    HOTSPOT_INVOKE,
+                    ts=activation.entry_instructions,
+                    track=f"hotspot:{name}",
+                    dur=inclusive,
+                )
         if self._gc_active and name == self.config.gc_method:
             self._gc_active -= 1
 

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.program import DataRegion, Program
-from repro.scaling import STRUCTURE_SCALE
 from repro.workloads.patterns import (
     MixedBehavior,
     WanderingWindowBehavior,

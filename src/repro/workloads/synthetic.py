@@ -9,7 +9,7 @@ it.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program, RandomDecider

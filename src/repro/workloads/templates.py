@@ -17,7 +17,7 @@ Three shapes cover the paper's hotspot taxonomy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from repro.isa.builder import MethodBuilder
 from repro.isa.program import DataRegion, MemoryBehavior, Method

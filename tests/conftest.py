@@ -16,7 +16,6 @@ from repro.isa.program import Program
 from repro.sim.config import ExperimentConfig, MachineConfig, build_machine
 from repro.workloads.patterns import (
     StackBehavior,
-    StridedBehavior,
     WorkingSetBehavior,
 )
 

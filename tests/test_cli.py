@@ -1,5 +1,7 @@
 """CLI tests (parser wiring and a tiny end-to-end invocation)."""
 
+import json
+
 import pytest
 
 from repro.cli import ALL_EXHIBITS, build_parser, main, make_config
@@ -29,6 +31,18 @@ class TestParser:
             build_parser().parse_args(
                 ["table4", "--benchmarks", "spec2017"]
             )
+
+    def test_run_command_flags(self):
+        args = build_parser().parse_args(
+            ["run", "db", "--scheme", "bbv", "--trace", "t.json",
+             "--metrics", "--stats-json", "s.json"]
+        )
+        assert args.exhibit == "run"
+        assert args.bench == "db"
+        assert args.scheme == "bbv"
+        assert args.trace == "t.json"
+        assert args.metrics is True
+        assert args.stats_json == "s.json"
 
     def test_config_overrides(self):
         args = build_parser().parse_args(
@@ -63,3 +77,90 @@ class TestMain:
         )
         assert code == 0
         assert "Figure 4" in capsys.readouterr().out
+
+    def test_run_without_benchmark_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "needs a benchmark" in capsys.readouterr().err
+
+    def test_run_with_trace_and_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "out.json"
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["run", "db", "--scheme", "hotspot",
+             "--instructions", "300000",
+             "--trace", str(trace_path), "--metrics",
+             "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "db/hotspot" in out
+        assert "trace written" in out
+        assert "config_pinned" in out  # --metrics summary
+
+        trace = json.loads(trace_path.read_text())
+        names = {
+            e["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] != "M"
+        }
+        assert {"hotspot_detected", "config_tried", "config_pinned"} <= names
+
+        stats = json.loads(stats_path.read_text())
+        assert stats["simulations"] == 1
+        assert stats["elapsed_seconds"] >= 0
+
+
+class TestStoreGC:
+    @staticmethod
+    def _load_tool():
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "tools"
+            / "store_gc.py"
+        )
+        spec = importlib.util.spec_from_file_location("store_gc", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_list_renders_aligned_table(self, capsys, tmp_path):
+        from repro.sim.experiment import (
+            get_default_store,
+            set_default_store,
+        )
+
+        store_dir = tmp_path / "store"
+        previous = get_default_store()
+        try:
+            # An instruction count no other test uses, so the cells miss
+            # the process-wide memory cache and actually reach the store.
+            code = main(
+                ["quick", "--benchmarks", "db",
+                 "--instructions", "310000",
+                 "--store-dir", str(store_dir)]
+            )
+            assert code == 0
+        finally:
+            set_default_store(previous)
+        capsys.readouterr()
+
+        store_gc = self._load_tool()
+        assert store_gc.main(["--store-dir", str(store_dir), "--list"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        header, rule = lines[0], lines[1]
+        assert header.split() == [
+            "file", "benchmark", "scheme", "fingerprint", "schema", "age",
+        ]
+        assert set(rule) <= {"-", " "}
+        body = lines[2:-1]
+        assert len(body) == 3  # baseline/bbv/hotspot cells
+        schema_col = header.index("schema")
+        age_col = header.index("age")
+        for line in body:
+            assert line[schema_col:].startswith("v")
+            assert line[age_col:].rstrip().endswith("d")
+        assert "3 entries" in lines[-1]

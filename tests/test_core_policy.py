@@ -1,9 +1,7 @@
 """End-to-end tests of the hotspot ACE policy on small programs."""
 
-import pytest
-
 from repro.core.policy import HotspotACEPolicy
-from repro.core.tuning import TuningConfig, TuningPhase
+from repro.core.tuning import TuningPhase
 from repro.sim.config import MachineConfig, build_machine
 from repro.vm.vm import VMConfig, VirtualMachine
 from tests.conftest import make_loop_program, make_two_tier_program

@@ -8,7 +8,6 @@ from repro.energy.model import (
     PipelineEnergyModel,
 )
 from repro.energy.params import (
-    CacheEnergySpec,
     DEFAULT_L1D_ENERGY,
     DEFAULT_L2_ENERGY,
     EnergyPoint,

@@ -1,7 +1,6 @@
 """Fuzzing: the full stack must hold its invariants on arbitrary
 well-formed programs, not just the calibrated stand-ins."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,337 @@
+"""Telemetry subsystem tests: registry, event log, emit points, export.
+
+The end-to-end fixtures run one short hotspot-scheme cell (and one BBV
+cell) with a live :class:`repro.obs.Telemetry` and assert the paper's
+decision lifecycle — detect → tune → try → pin — appears as ordered,
+typed events; the null-sink tests pin the overhead contract (disabled
+telemetry records nothing and leaves results untouched).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CONFIG_PINNED,
+    CONFIG_TRIED,
+    EVENT_TYPES,
+    Event,
+    EventLog,
+    HOTSPOT_DETECTED,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NullMetricsRegistry,
+    PHASE_TRANSITION,
+    TUNING_STARTED,
+    Telemetry,
+    WALL_CLOCK_EVENTS,
+    chrome_trace,
+    summary_markdown,
+    timeline_markdown,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec, execute
+from repro.sim.engine import Engine
+
+
+def short_config(instructions=400_000) -> ExperimentConfig:
+    config = ExperimentConfig()
+    config.max_instructions = instructions
+    return config
+
+
+@pytest.fixture(scope="module")
+def traced_hotspot_run():
+    """One short hotspot-scheme run with live telemetry."""
+    telemetry = Telemetry()
+    result = execute(
+        RunSpec("db", "hotspot", short_config()), telemetry=telemetry
+    )
+    return telemetry, result
+
+
+@pytest.fixture(scope="module")
+def traced_bbv_run():
+    telemetry = Telemetry()
+    result = execute(
+        RunSpec("db", "bbv", short_config()), telemetry=telemetry
+    )
+    return telemetry, result
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        assert registry.counter("a").value == 3
+        assert registry.names() == ["a"]
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("setting").set(4)
+        registry.gauge("setting").set(2)
+        assert registry.gauge("setting").value == 2
+
+    def test_histogram_statistics(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10, 100))
+        for value in (5, 50, 500):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 5 and histogram.max == 500
+        assert histogram.mean == pytest.approx(555 / 3)
+        assert histogram.to_dict()["buckets"] == {
+            "le_10": 1, "le_100": 1, "inf": 1,
+        }
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_null_registry_records_nothing(self):
+        registry = NullMetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(2)
+        assert len(registry) == 0
+        assert registry.to_dict() == {}
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_bounded_appends_count_dropped(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.append(Event("hotspot_invoke", float(i), "vm"))
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_counts_follow_vocabulary_order(self):
+        log = EventLog()
+        log.append(Event(CONFIG_TRIED, 2.0, "policy"))
+        log.append(Event(HOTSPOT_DETECTED, 1.0, "vm"))
+        log.append(Event(CONFIG_TRIED, 3.0, "policy"))
+        assert list(log.counts()) == [HOTSPOT_DETECTED, CONFIG_TRIED]
+        assert log.counts()[CONFIG_TRIED] == 2
+
+    def test_wall_clock_partition(self):
+        assert WALL_CLOCK_EVENTS < set(EVENT_TYPES)
+        assert HOTSPOT_DETECTED not in WALL_CLOCK_EVENTS
+        assert Event("cell_done", 1.0, "engine").wall_clock
+        assert not Event(CONFIG_PINNED, 1.0, "policy").wall_clock
+
+
+# ---------------------------------------------------------------------------
+# The tuning lifecycle, end to end (acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+class TestHotspotTimeline:
+    def test_lifecycle_event_minimums(self, traced_hotspot_run):
+        telemetry, _ = traced_hotspot_run
+        counts = telemetry.log.counts()
+        assert counts.get(HOTSPOT_DETECTED, 0) >= 1
+        assert counts.get(CONFIG_TRIED, 0) >= 4
+        assert counts.get(CONFIG_PINNED, 0) >= 1
+
+    def test_exactly_one_pin_per_tuned_hotspot(self, traced_hotspot_run):
+        telemetry, _ = traced_hotspot_run
+        pins = {}
+        for event in telemetry.log.by_name(CONFIG_PINNED):
+            hotspot = event.args["hotspot"]
+            pins[hotspot] = pins.get(hotspot, 0) + 1
+        assert pins, "no configurations were pinned"
+        assert all(n == 1 for n in pins.values()), pins
+
+    def test_lifecycle_order_per_hotspot(self, traced_hotspot_run):
+        telemetry, _ = traced_hotspot_run
+        for event in telemetry.log.by_name(CONFIG_PINNED):
+            name = event.args["hotspot"]
+            detected = [
+                e.ts
+                for e in telemetry.log.by_name(HOTSPOT_DETECTED)
+                if e.args["method"] == name
+            ]
+            started = [
+                e.ts
+                for e in telemetry.log.by_name(TUNING_STARTED)
+                if e.args["hotspot"] == name
+            ]
+            tried = [
+                e.ts
+                for e in telemetry.log.by_name(CONFIG_TRIED)
+                if e.args["hotspot"] == name
+            ]
+            assert detected and started and tried
+            assert detected[0] <= started[0] <= tried[0] <= event.ts
+            assert tried == sorted(tried)
+
+    def test_simulation_events_are_timestamp_ordered(
+        self, traced_hotspot_run
+    ):
+        telemetry, _ = traced_hotspot_run
+        lifecycle = (
+            HOTSPOT_DETECTED, TUNING_STARTED, CONFIG_TRIED, CONFIG_PINNED,
+        )
+        stamps = [
+            e.ts for e in telemetry.log if e.name in lifecycle
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_result_matches_untraced_run(self, traced_hotspot_run):
+        _, traced = traced_hotspot_run
+        untraced = execute(RunSpec("db", "hotspot", short_config()))
+        assert traced.to_dict() == untraced.to_dict()
+
+
+class TestBBVTimeline:
+    def test_phase_transitions_recorded(self, traced_bbv_run):
+        telemetry, result = traced_bbv_run
+        transitions = telemetry.log.by_name(PHASE_TRANSITION)
+        assert transitions, "BBV run produced no phase transitions"
+        for event in transitions:
+            assert event.args["phase_from"] != event.args["phase_to"]
+        assert result.bbv_stats is not None
+
+
+# ---------------------------------------------------------------------------
+# The overhead contract: disabled telemetry is a true no-op
+# ---------------------------------------------------------------------------
+
+
+class TestNullSink:
+    def test_null_sink_records_nothing(self):
+        execute(RunSpec("db", "hotspot", short_config(200_000)))
+        assert len(NULL_TELEMETRY.log) == 0
+        assert NULL_TELEMETRY.log.dropped == 0
+        assert len(NULL_TELEMETRY.metrics) == 0
+
+    def test_result_shape_is_telemetry_free(self, traced_hotspot_run):
+        _, traced = traced_hotspot_run
+        untraced = execute(RunSpec("db", "hotspot", short_config()))
+        assert set(traced.to_dict()) == set(untraced.to_dict())
+        assert not any("telemetry" in k for k in traced.to_dict())
+        assert not hasattr(traced, "telemetry")
+
+    def test_null_emit_paths_are_noops(self):
+        NULL_TELEMETRY.emit("hotspot_detected", 1.0, "vm", method="m")
+        NULL_TELEMETRY.emit_wall("cell_done", dur=1.0)
+        NULL_TELEMETRY.metrics.counter("x").inc()
+        assert NULL_TELEMETRY.now_us() == 0.0
+        assert len(NULL_TELEMETRY.log) == 0
+        assert not NULL_TELEMETRY.enabled
+
+
+# ---------------------------------------------------------------------------
+# Engine scheduling events
+# ---------------------------------------------------------------------------
+
+
+class TestEngineEvents:
+    def test_serial_cell_events_and_memory_hit(self):
+        telemetry = Telemetry()
+        engine = Engine(
+            jobs=1, store=None, memory_cache={}, telemetry=telemetry
+        )
+        spec = RunSpec("db", "baseline", short_config(200_000))
+        engine.run_one(spec)
+        counts = telemetry.log.counts()
+        assert counts.get("cell_start") == 1
+        assert counts.get("cell_done") == 1
+        engine.run_one(spec)
+        assert telemetry.log.counts().get("memory_hit") == 1
+        assert telemetry.metrics.counter("engine.simulations").value == 1
+        done = telemetry.log.by_name("cell_done")[0]
+        assert done.wall_clock and done.dur > 0
+        assert done.track == "worker:0"
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    def test_chrome_trace_structure(self, traced_hotspot_run):
+        telemetry, _ = traced_hotspot_run
+        trace = chrome_trace(telemetry)
+        events = trace["traceEvents"]
+        assert trace["otherData"]["dropped_events"] == 0
+        metadata = [e for e in events if e["ph"] == "M"]
+        body = [e for e in events if e["ph"] != "M"]
+        assert body, "empty trace body"
+        # One named thread per event-log track, plus the process names.
+        named = {
+            e["args"]["name"]
+            for e in metadata
+            if e["name"] == "thread_name"
+        }
+        assert named == set(telemetry.log.tracks())
+        assert {"CU:L1D", "CU:L2", "policy", "vm"} <= named
+        assert any(t.startswith("hotspot:") for t in named)
+        # Simulated time and wall time live in different processes.
+        pids = {e["pid"] for e in body}
+        assert pids <= {1, 2}
+        for event in body:
+            assert event["ph"] in ("X", "i")
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+            else:
+                assert event["s"] == "t"
+        # Within a process the body is time-sorted (Perfetto-friendly).
+        for pid in pids:
+            stamps = [e["ts"] for e in body if e["pid"] == pid]
+            assert stamps == sorted(stamps)
+
+    def test_chrome_trace_round_trips_through_json(
+        self, traced_hotspot_run, tmp_path
+    ):
+        telemetry, _ = traced_hotspot_run
+        path = write_chrome_trace(telemetry, tmp_path / "trace.json")
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) >= len(telemetry.log)
+
+    def test_jsonl_export(self, traced_hotspot_run, tmp_path):
+        telemetry, _ = traced_hotspot_run
+        path = tmp_path / "events.jsonl"
+        written = write_jsonl(telemetry, path)
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == len(telemetry.log)
+        first = json.loads(lines[0])
+        assert {"name", "ts", "track"} <= set(first)
+
+    def test_markdown_summaries(self, traced_hotspot_run):
+        telemetry, _ = traced_hotspot_run
+        timeline = timeline_markdown(telemetry)
+        summary = summary_markdown(telemetry)
+        assert "config_pinned" in timeline
+        assert "hotspot_detected" in summary
+        assert "policy.configs_pinned" in summary
+
+    def test_timeline_exhibit(self, traced_hotspot_run):
+        from repro.report.exhibits import timeline
+
+        telemetry, _ = traced_hotspot_run
+        exhibit = timeline(telemetry)
+        assert exhibit.exhibit == "timeline"
+        assert exhibit.data["counts"][CONFIG_PINNED] >= 1
+        assert "config_pinned" in exhibit.rendered

@@ -1,7 +1,5 @@
 """Exhaustive unit coverage of the A/B verification state machine."""
 
-import pytest
-
 from repro.core.tuning import (
     HotspotTuningState,
     TuningOutcome,

@@ -1,7 +1,5 @@
 """Additional VM behaviour tests: preloading, quantum, detection edges."""
 
-import pytest
-
 from repro.sim.config import MachineConfig, build_machine
 from repro.vm.hotspot import DODatabase
 from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine

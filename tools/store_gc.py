@@ -35,7 +35,6 @@ from repro.sim.store import (
     STORE_SCHEMA_VERSION,
     ResultStore,
     StoreEntryInfo,
-    default_store_dir,
 )
 
 
@@ -64,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--all", action="store_true", help="select every entry"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_table",
+        help="print every entry as one aligned table (file, cell, "
+        "fingerprint, schema version, created age)",
     )
     parser.add_argument(
         "--prune",
@@ -103,11 +109,55 @@ def describe(entry: StoreEntryInfo) -> str:
     return f"{entry.path.name}: {detail}"
 
 
+def render_listing(entries: List[StoreEntryInfo]) -> str:
+    """One aligned table over all entries: cell, schema, created age."""
+    headers = ("file", "benchmark", "scheme", "fingerprint", "schema", "age")
+    rows = [headers]
+    for entry in entries:
+        if entry.corrupt:
+            rows.append((entry.path.name, "CORRUPT", "-", "-", "-", "-"))
+            continue
+        schema = f"v{entry.schema}" + ("" if entry.known_schema else " (?)")
+        rows.append(
+            (
+                entry.path.name,
+                entry.benchmark or "?",
+                entry.scheme or "?",
+                (entry.fingerprint or "?")[:12],
+                schema,
+                f"{entry.age_days():.1f}d",
+            )
+        )
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     store = ResultStore(args.store_dir)
     if not store.root.is_dir():
         print(f"store {store.root} does not exist; nothing to do")
+        return 0
+    if args.list_table:
+        entries = list(store.entries())
+        if entries:
+            print(render_listing(entries))
+        print(
+            f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+            f"in {store.root}"
+        )
         return 0
     filtering = (
         args.all or args.unknown_schema or args.older_than_days is not None
