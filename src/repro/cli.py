@@ -145,6 +145,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the engine's stats counters (simulations, memory/store "
         "hits, retries, timeouts) as JSON to PATH ('-' for stdout)",
     )
+    parser.add_argument(
+        "--inject",
+        default=None,
+        metavar="PLAN",
+        help="fault-injection plan, e.g. "
+        "'seed=42,worker_crash=0.2,cell_timeout=0.1' (see repro.faults."
+        "FaultPlan; plans that perturb simulation results disable "
+        "caching for the affected cells)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "partial"],
+        default="raise",
+        dest="on_error",
+        help="batch failure policy: 'raise' aborts on the first cell "
+        "that exhausts its retries (default); 'skip'/'partial' keep "
+        "serving surviving cells ('partial' still fails when no cell "
+        "succeeded)",
+    )
     return parser
 
 
@@ -170,6 +189,19 @@ def configure_store(args) -> None:
         set_default_store(ResultStore(args.store_dir))
 
 
+def make_fault_plan(args):
+    """Parse ``--inject`` into a FaultPlan (or None); exits on bad specs."""
+    if args.inject is None:
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_spec(args.inject)
+    except ValueError as error:
+        print(f"error: bad --inject plan: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def dump_stats_json(args, engine, elapsed: float) -> None:
     """Satisfy ``--stats-json``: engine counters, machine-readable."""
     if args.stats_json is None:
@@ -189,7 +221,11 @@ def dump_stats_json(args, engine, elapsed: float) -> None:
 def run_command(args) -> int:
     """The ``run`` exhibit: one traced benchmark/scheme cell."""
     from repro.obs import Telemetry, write_chrome_trace
-    from repro.sim.engine import Engine
+    from repro.sim.engine import (
+        BatchExecutionError,
+        CellExecutionError,
+        Engine,
+    )
     from repro.sim.experiment import get_default_store
 
     if args.bench is None:
@@ -209,11 +245,27 @@ def run_command(args) -> int:
         store=None if tracing else get_default_store(),
         use_cache=not tracing,
         telemetry=telemetry,
+        failure_policy=args.on_error,
+        fault_plan=make_fault_plan(args),
     )
     config = make_config(args)
     start = perf_counter()
-    result = engine.run_one(RunSpec(args.bench, args.scheme, config))
+    try:
+        result = engine.run_one(RunSpec(args.bench, args.scheme, config))
+    except (CellExecutionError, BatchExecutionError) as error:
+        elapsed = perf_counter() - start
+        print(f"error: {error}", file=sys.stderr)
+        dump_stats_json(args, engine, elapsed)
+        return 1
     elapsed = perf_counter() - start
+    if result is None:
+        print(
+            f"error: cell {args.bench}/{args.scheme} failed "
+            f"(failure policy {args.on_error!r}); see engine stats",
+            file=sys.stderr,
+        )
+        dump_stats_json(args, engine, elapsed)
+        return 1
     print(
         f"{result.benchmark}/{result.scheme}: "
         f"{result.instructions:,} insns, {result.cycles:,.0f} cycles, "
@@ -260,16 +312,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_store(args)
     from repro.sim.experiment import make_engine
 
-    engine = make_engine(jobs=args.jobs)
+    engine = make_engine(
+        jobs=args.jobs,
+        failure_policy=args.on_error,
+        fault_plan=make_fault_plan(args),
+    )
     config = make_config(args)
     if args.exhibit == "quick":
+        from repro.sim.engine import (
+            BatchExecutionError,
+            CellExecutionError,
+        )
         from repro.sim.experiment import compare_schemes
 
         config.max_instructions = min(config.max_instructions, 1_500_000)
         start = perf_counter()
-        comparison = compare_schemes(
-            (args.benchmarks or ["db"])[0], config, engine=engine
-        )
+        try:
+            comparison = compare_schemes(
+                (args.benchmarks or ["db"])[0], config, engine=engine
+            )
+        except (CellExecutionError, BatchExecutionError) as error:
+            elapsed = perf_counter() - start
+            print(f"error: {error}", file=sys.stderr)
+            dump_stats_json(args, engine, elapsed)
+            return 1
         for cache in ("L1D", "L2"):
             print(
                 f"{cache} energy reduction: "
@@ -286,8 +352,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         dump_stats_json(args, engine, elapsed)
         return 0
 
+    from repro.sim.engine import BatchExecutionError, CellExecutionError
+
     start = perf_counter()
-    suite = run_suite(args.benchmarks, config, engine=engine)
+    try:
+        suite = run_suite(args.benchmarks, config, engine=engine)
+    except (CellExecutionError, BatchExecutionError) as error:
+        elapsed = perf_counter() - start
+        print(f"error: {error}", file=sys.stderr)
+        dump_stats_json(args, engine, elapsed)
+        return 1
     elapsed = perf_counter() - start
     wanted = (
         ALL_EXHIBITS if args.exhibit == "all" else [args.exhibit]
@@ -299,10 +373,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(SUITE_EXHIBITS[name](suite).rendered)
         print()
     stats = engine.stats
+    degraded = (
+        f", {stats.failures} FAILED" if stats.failures else ""
+    )
     print(
         f"(suite resolved in {elapsed:.0f}s: {stats.simulations} "
         f"simulated, {stats.memory_hits} memory hits, "
-        f"{stats.store_hits} store hits, jobs={args.jobs})"
+        f"{stats.store_hits} store hits, jobs={args.jobs}{degraded})"
     )
     dump_stats_json(args, engine, elapsed)
     return 0

@@ -179,6 +179,10 @@ class HotspotACEPolicy(AdaptationHooks):
         self.vm: Optional[VirtualMachine] = None
         self.machine = None
         self.telemetry = NULL_TELEMETRY
+        #: Optional :class:`repro.faults.FaultPlan` — perturbs the
+        #: measured (IPC, energy) samples the tuning walk and the
+        #: sampling code consume (profiling noise + forced drift).
+        self.fault_plan = None
 
     # -- VM lifecycle ----------------------------------------------------------
 
@@ -401,6 +405,16 @@ class HotspotACEPolicy(AdaptationHooks):
             delta.tuning_energy_metric(cu_name, self.machine)
             for cu_name in state.cu_names
         )
+        plan = self.fault_plan
+        if plan is not None and plan.perturbs_profiling:
+            ipc, energy = plan.perturb_measurement(
+                hotspot.name,
+                token.config,
+                ipc,
+                energy,
+                self.machine.instructions,
+                self._ipc[hotspot.name].n,
+            )
         self._ipc[hotspot.name].add(ipc)
         # Average several measured invocations per configuration before
         # committing the trial (see TuningConfig.measurements_per_trial).
@@ -503,6 +517,16 @@ class HotspotACEPolicy(AdaptationHooks):
         if delta.cycles <= 0:
             return
         ipc = delta.ipc
+        plan = self.fault_plan
+        if plan is not None and plan.perturbs_profiling:
+            ipc, _ = plan.perturb_measurement(
+                hotspot.name,
+                token.config,
+                ipc,
+                0.0,
+                self.machine.instructions,
+                self._ipc[hotspot.name].n,
+            )
         self._ipc[hotspot.name].add(ipc)
         if token.kind == "verify":
             outcome = state.record_verification(

@@ -22,8 +22,10 @@ overhead contract.
 """
 
 from repro.obs.events import (
+    BATCH_DEGRADED,
     CACHE_RESIZE,
     CELL_DONE,
+    CELL_FAILED,
     CELL_START,
     CONFIG_DEMOTED,
     CONFIG_PINNED,
@@ -44,9 +46,11 @@ from repro.obs.events import (
     SAMPLING_RETUNE,
     STORE_HIT,
     TIMEOUT,
+    TIMEOUT_DISABLED,
     TUNING_STARTED,
     Telemetry,
     WALL_CLOCK_EVENTS,
+    WORKER_CRASH,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -64,8 +68,10 @@ from repro.obs.registry import (
 )
 
 __all__ = [
+    "BATCH_DEGRADED",
     "CACHE_RESIZE",
     "CELL_DONE",
+    "CELL_FAILED",
     "CELL_START",
     "CONFIG_DEMOTED",
     "CONFIG_PINNED",
@@ -91,9 +97,11 @@ __all__ = [
     "SAMPLING_RETUNE",
     "STORE_HIT",
     "TIMEOUT",
+    "TIMEOUT_DISABLED",
     "TUNING_STARTED",
     "Telemetry",
     "WALL_CLOCK_EVENTS",
+    "WORKER_CRASH",
     "chrome_trace",
     "summary_markdown",
     "timeline_markdown",

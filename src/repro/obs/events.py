@@ -54,6 +54,11 @@ STORE_HIT = "store_hit"
 MEMORY_HIT = "memory_hit"
 RETRY = "retry"
 TIMEOUT = "timeout"
+# Wall-clock failure/degradation events (graceful-degradation paths):
+WORKER_CRASH = "worker_crash"
+CELL_FAILED = "cell_failed"
+BATCH_DEGRADED = "batch_degraded"
+TIMEOUT_DISABLED = "timeout_disabled"
 
 #: The complete vocabulary, in rough lifecycle order (used by summaries).
 EVENT_TYPES: Tuple[str, ...] = (
@@ -75,11 +80,26 @@ EVENT_TYPES: Tuple[str, ...] = (
     MEMORY_HIT,
     RETRY,
     TIMEOUT,
+    WORKER_CRASH,
+    CELL_FAILED,
+    BATCH_DEGRADED,
+    TIMEOUT_DISABLED,
 )
 
 #: Events stamped with wall time; everything else uses simulated time.
 WALL_CLOCK_EVENTS = frozenset(
-    (CELL_START, CELL_DONE, STORE_HIT, MEMORY_HIT, RETRY, TIMEOUT)
+    (
+        CELL_START,
+        CELL_DONE,
+        STORE_HIT,
+        MEMORY_HIT,
+        RETRY,
+        TIMEOUT,
+        WORKER_CRASH,
+        CELL_FAILED,
+        BATCH_DEGRADED,
+        TIMEOUT_DISABLED,
+    )
 )
 
 

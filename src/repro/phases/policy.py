@@ -131,6 +131,9 @@ class BBVACEPolicy(AdaptationHooks):
         self.machine = None
         self.telemetry = NULL_TELEMETRY
         self._last_pid: Optional[int] = None
+        #: Optional :class:`repro.faults.FaultPlan` — perturbs the
+        #: (IPC, energy) samples trial intervals are credited with.
+        self.fault_plan = None
 
     # -- VM lifecycle -------------------------------------------------------
 
@@ -317,20 +320,31 @@ class BBVACEPolicy(AdaptationHooks):
                     delta.tuning_energy_metric(cu_name, machine)
                     for cu_name in self.cu_names
                 )
+                ipc = delta.ipc
+                plan = self.fault_plan
+                if plan is not None and plan.perturbs_profiling:
+                    ipc, energy = plan.perturb_measurement(
+                        f"phase:{trial_pid}",
+                        tuple(config),
+                        ipc,
+                        energy,
+                        machine.instructions,
+                        index,
+                    )
                 if telemetry.enabled:
                     telemetry.emit(
                         CONFIG_TRIED,
                         ts=machine.instructions,
                         phase=trial_pid,
                         config=list(config),
-                        ipc=delta.ipc,
+                        ipc=ipc,
                         energy_per_insn=energy / delta.instructions,
                     )
                     telemetry.metrics.counter("bbv.configs_tried").inc()
                 completed = entry.record(
                     TuningOutcome(
                         config,
-                        delta.ipc,
+                        ipc,
                         energy / delta.instructions,
                         delta.instructions,
                     ),

@@ -216,7 +216,7 @@ def run_benchmark(
     )
 
 
-def execute(spec: RunSpec, telemetry=None) -> RunResult:
+def execute(spec: RunSpec, telemetry=None, fault_plan=None) -> RunResult:
     """Execute one :class:`RunSpec` cell (always simulates; no caching).
 
     ``telemetry`` is an optional :class:`repro.obs.Telemetry` session;
@@ -225,6 +225,12 @@ def execute(spec: RunSpec, telemetry=None) -> RunResult:
     unchanged — telemetry stays on the side channel, never in
     :class:`RunResult` (cached results must not depend on whether a run
     was traced).
+
+    ``fault_plan`` is an optional :class:`repro.faults.FaultPlan`; when
+    given, the machine model consults it for injected reconfiguration
+    denials and both policies for profiling noise/drift.  The engine
+    refuses to cache results produced under a simulation-perturbing plan
+    (see ``Engine._cell_cacheable``).
     """
     config = spec.config or ExperimentConfig()
     scheme = spec.scheme
@@ -238,6 +244,10 @@ def execute(spec: RunSpec, telemetry=None) -> RunResult:
     machine = build_machine(config.machine)
     if policy is None:
         policy = make_policy(scheme, config)
+    if fault_plan is not None:
+        machine.fault_plan = fault_plan
+        if hasattr(policy, "fault_plan"):
+            policy.fault_plan = fault_plan
     if isinstance(policy, HotspotACEPolicy) and policy.predictor is not None:
         install_program_for_prediction(machine, built.program)
     vm_config = VMConfig(

@@ -19,6 +19,19 @@ Results are deterministic: a cell's outcome depends only on its
 :class:`~repro.sim.driver.RunSpec`, never on scheduling, so the parallel
 path is bit-identical to the serial one.
 
+Graceful degradation (docs/INTERNALS.md §11): ``failure_policy``
+selects what a cell that exhausts its retry budget does to the batch —
+``"raise"`` (default, legacy) aborts with :class:`CellExecutionError`,
+while ``"skip"`` and ``"partial"`` record a per-cell failure and keep
+serving the surviving cells (``"partial"`` additionally raises
+:class:`BatchExecutionError` when *no* cell succeeded).  Use
+:meth:`Engine.run_batch` to receive the per-cell
+:class:`CellOutcome` records.  A worker-process death
+(``BrokenProcessPool``) is recovered by rebuilding the pool and
+resubmitting the interrupted cells; after ``max_pool_rebuilds`` the
+engine degrades further to in-process serial execution.  Seeded fault
+injection for all of these paths lives in :mod:`repro.faults`.
+
 Cells carrying live objects (an explicit ``policy`` instance, a
 ``preload_database``, a prebuilt benchmark) are executed serially in the
 parent process — they are not guaranteed picklable and are never cached.
@@ -26,20 +39,36 @@ parent process — they are not guaranteed picklable and are never cached.
 
 from __future__ import annotations
 
+import random
 import signal
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.faults import FaultPlan, InjectedFault, corrupt_file
 from repro.obs.events import (
+    BATCH_DEGRADED,
     CELL_DONE,
+    CELL_FAILED,
     CELL_START,
     MEMORY_HIT,
     NULL_TELEMETRY,
     RETRY,
     STORE_HIT,
     TIMEOUT,
+    TIMEOUT_DISABLED,
+    WORKER_CRASH,
 )
 from repro.sim.driver import RunResult, RunSpec, execute
 from repro.sim.store import ResultStore
@@ -48,6 +77,10 @@ from repro.sim.store import ResultStore
 SOURCE_MEMORY = "memory"
 SOURCE_STORE = "store"
 SOURCE_SIMULATED = "simulated"
+SOURCE_FAILED = "failed"
+
+#: Batch failure policies (see the module docstring's state machine).
+FAILURE_POLICIES = ("raise", "skip", "partial")
 
 #: Shared across all Engine instances by default, so e.g. the CLI's
 #: exhibit loop and the bench fixtures see each other's runs.
@@ -78,6 +111,93 @@ class CellExecutionError(RuntimeError):
         self.cause = cause
 
 
+class BatchExecutionError(RuntimeError):
+    """A degraded batch the caller cannot proceed with.
+
+    The engine raises it under ``failure_policy="partial"`` when *every*
+    cell failed; facades that need a complete batch (e.g.
+    ``compare_schemes``) raise it for any failed cell.  Carries the
+    assembled :class:`BatchResult` so callers can still inspect the
+    per-cell outcomes.
+    """
+
+    def __init__(self, batch: "BatchResult", message: Optional[str] = None):
+        if message is None:
+            message = (
+                f"all {len(batch)} cell(s) of the batch failed; first "
+                f"error: {batch.failures[0].error}"
+            )
+        super().__init__(message)
+        self.batch = batch
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one cell in a batch.
+
+    ``status`` is ``"ok"`` (with ``result`` set and ``source`` naming the
+    layer that produced it), or one of the failure kinds: ``"failed"``
+    (exception exhausted the retry budget), ``"timeout"`` (final error
+    was a :class:`CellTimeout`), ``"crashed"`` (worker-process deaths
+    exhausted the budget).  Failed cells carry ``repr`` of the final
+    error and ``result=None``.
+    """
+
+    spec: RunSpec
+    status: str
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    source: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class BatchResult:
+    """Per-cell outcomes of one :meth:`Engine.run_batch` call, in order."""
+
+    def __init__(self, outcomes: Sequence[CellOutcome]):
+        self.outcomes: List[CellOutcome] = list(outcomes)
+
+    @property
+    def results(self) -> List[Optional[RunResult]]:
+        """Results in cell order; ``None`` where a cell failed."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def ok(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one cell failed (partial batch)."""
+        return any(not o.ok for o in self.outcomes)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[CellOutcome]:
+        return iter(self.outcomes)
+
+    def __repr__(self) -> str:
+        detail = ", ".join(
+            f"{status}={n}" for status, n in sorted(self.counts().items())
+        )
+        return f"BatchResult({len(self.outcomes)} cells: {detail})"
+
+
 @dataclass
 class EngineStats:
     """Counters for one Engine instance (reset with ``reset()``)."""
@@ -88,6 +208,12 @@ class EngineStats:
     deduplicated: int = 0
     retries: int = 0
     timeouts: int = 0
+    failures: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    #: Cells that requested a timeout the engine could not arm (SIGALRM
+    #: needs the main thread) and therefore ran unbounded.
+    timeouts_unarmed: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -108,19 +234,26 @@ ProgressCallback = Callable[[CellProgress], None]
 
 
 def _run_with_alarm(
-    spec: RunSpec, timeout: Optional[float], telemetry=None
+    spec: RunSpec,
+    timeout: Optional[float],
+    telemetry=None,
+    fault_plan: Optional[FaultPlan] = None,
+    on_unarmed: Optional[Callable[[], None]] = None,
 ) -> RunResult:
     """Execute a cell, bounded by SIGALRM when a timeout is requested.
 
     SIGALRM interrupts pure-Python simulation loops reliably on POSIX; it
-    is only armed from a main thread (worker processes always qualify).
+    can only be armed from a main thread (worker processes always
+    qualify).  When a timeout was requested but cannot be armed, the cell
+    runs unbounded and ``on_unarmed`` is invoked so the caller can make
+    the disabled budget visible instead of silent.
     """
-    if (
-        timeout is None
-        or timeout <= 0
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        return execute(spec, telemetry=telemetry)
+    if timeout is None or timeout <= 0:
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
+    if threading.current_thread() is not threading.main_thread():
+        if on_unarmed is not None:
+            on_unarmed()
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
 
     def _on_alarm(signum, frame):
         raise CellTimeout(
@@ -131,16 +264,73 @@ def _run_with_alarm(
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute(spec, telemetry=telemetry)
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
 
 
-def _pool_worker(payload: Tuple[RunSpec, Optional[float]]) -> RunResult:
+def _inject_cell_faults(
+    plan: Optional[FaultPlan], spec: RunSpec, attempt: int
+) -> None:
+    """Raise the per-attempt engine faults a plan schedules for a cell."""
+    if plan is None:
+        return
+    key = (spec.benchmark_name, spec.scheme, attempt)
+    if plan.decide("cell_exception", key):
+        raise InjectedFault(
+            f"injected exception in cell "
+            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
+            f"attempt {attempt}"
+        )
+    if plan.decide("cell_timeout", key):
+        raise CellTimeout(
+            f"injected timeout in cell "
+            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
+            f"attempt {attempt}"
+        )
+
+
+def _pool_worker(
+    payload: Tuple[RunSpec, Optional[float], Optional[FaultPlan], int]
+) -> RunResult:
     """Top-level worker entry (must be importable for pickling)."""
-    spec, timeout = payload
-    return _run_with_alarm(spec, timeout)
+    spec, timeout, plan, attempt = payload
+    if plan is not None and plan.decide(
+        "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
+    ):
+        # Hard exit without cleanup: the parent observes BrokenProcessPool,
+        # exactly like a segfaulting or OOM-killed worker.
+        import os
+
+        os._exit(17)
+    _inject_cell_faults(plan, spec, attempt)
+    return _run_with_alarm(spec, timeout, fault_plan=plan)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, fail_fast: bool) -> None:
+    """Shut a pool down; fail-fast drops pending work and does not wait.
+
+    ``cancel_futures`` exists from Python 3.9; on 3.8 the guard degrades
+    to a plain no-wait shutdown (pending cells still run, but the caller
+    is no longer blocked on them).
+    """
+    if not fail_fast:
+        pool.shutdown(wait=True)
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover — Python 3.8 fallback
+        pool.shutdown(wait=False)
+
+
+class _PoolBroken(Exception):
+    """Internal signal: the process pool died; these cells were in flight."""
+
+    def __init__(self, interrupted: List[int], cause: BaseException):
+        super().__init__(f"pool broken with {len(interrupted)} cells in flight")
+        self.interrupted = interrupted
+        self.cause = cause
 
 
 class Engine:
@@ -162,6 +352,29 @@ class Engine:
         timed-out cell is retried like any other failure.
     max_retries:
         Extra attempts per cell after the first failure.
+    failure_policy:
+        ``"raise"`` (default): a cell that exhausts its retries aborts
+        the batch with :class:`CellExecutionError` — the legacy
+        contract.  ``"skip"``: the failure is recorded as a
+        :class:`CellOutcome` and the batch keeps going; ``run()``
+        returns ``None`` in that cell's slot.  ``"partial"``: like
+        ``"skip"``, but a batch in which *every* cell failed raises
+        :class:`BatchExecutionError`.
+    retry_backoff:
+        Base of the exponential backoff slept before each retry
+        (seconds; ``attempt n`` waits ``base * 2**(n-1)``, jittered
+        ±50 %, capped at 30 s).  ``0`` (default) disables backoff.
+    max_pool_rebuilds:
+        How many times a batch may rebuild a broken process pool
+        (worker crash recovery) before degrading to in-process serial
+        execution for the interrupted cells.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`.  ``None`` (default)
+        injects nothing and adds no overhead.  A plan whose sites
+        perturb simulation results (profiling noise, drift, injected
+        reconfiguration denials) makes every cell non-cacheable for the
+        batch: perturbed results must never leak into either cache
+        layer.
     progress:
         Callback receiving a :class:`CellProgress` per finished cell.
     runner:
@@ -171,11 +384,13 @@ class Engine:
         Optional :class:`repro.obs.Telemetry` session.  The engine emits
         wall-clock scheduling events into it (``cell_start``,
         ``cell_done``, ``store_hit``, ``memory_hit``, ``retry``,
-        ``timeout``); cells executed *serially* additionally stream
-        their simulation-side tuning events into the same session.
-        Pool workers run in other processes, so their simulation events
-        are not captured — trace a single cell with ``jobs=1`` for the
-        full timeline.
+        ``timeout``, and the degradation events ``worker_crash``,
+        ``cell_failed``, ``batch_degraded``, ``timeout_disabled``);
+        cells executed *serially* additionally stream their
+        simulation-side tuning events into the same session.  Pool
+        workers run in other processes, so their simulation events are
+        not captured — trace a single cell with ``jobs=1`` for the full
+        timeline.
     """
 
     def __init__(
@@ -185,16 +400,29 @@ class Engine:
         use_cache: bool = True,
         cell_timeout: Optional[float] = None,
         max_retries: int = 1,
+        failure_policy: str = "raise",
+        retry_backoff: float = 0.0,
+        max_pool_rebuilds: int = 3,
+        fault_plan: Optional[FaultPlan] = None,
         progress: Optional[ProgressCallback] = None,
         runner: Optional[Callable[[RunSpec], RunResult]] = None,
         memory_cache: Optional[Dict] = None,
         telemetry=None,
     ):
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, got "
+                f"{failure_policy!r}"
+            )
         self.jobs = max(1, int(jobs))
         self.store = store
         self.use_cache = use_cache
         self.cell_timeout = cell_timeout
         self.max_retries = max(0, int(max_retries))
+        self.failure_policy = failure_policy
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
+        self.fault_plan = fault_plan
         self.progress = progress
         self.runner = runner
         self._memory = (
@@ -202,14 +430,25 @@ class Engine:
         )
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = EngineStats()
+        self._unarmed_warned = False
 
     # -- public API --------------------------------------------------------
 
     def run(self, cells: Sequence[RunSpec]) -> List[RunResult]:
-        """Resolve every cell (cache, store, or simulation), in order."""
+        """Resolve every cell (cache, store, or simulation), in order.
+
+        Under ``failure_policy="skip"``/``"partial"`` a failed cell's
+        slot holds ``None``; use :meth:`run_batch` for the full per-cell
+        outcome records.
+        """
+        return self.run_batch(cells).results  # type: ignore[return-value]
+
+    def run_batch(self, cells: Sequence[RunSpec]) -> "BatchResult":
+        """Like :meth:`run`, returning per-cell :class:`CellOutcome`\\ s."""
         specs = list(cells)
         total = len(specs)
         results: List[Optional[RunResult]] = [None] * total
+        self._outcomes: List[Optional[CellOutcome]] = [None] * total
         self._done = 0
         self._total = total
 
@@ -221,6 +460,9 @@ class Engine:
             if hit is not None:
                 result, source = hit
                 results[index] = result
+                self._outcomes[index] = CellOutcome(
+                    spec=spec, status="ok", result=result, source=source
+                )
                 self._notify(spec, source)
                 continue
             if self.use_cache and spec.cacheable:
@@ -236,10 +478,40 @@ class Engine:
         if pending:
             self._execute_pending(specs, pending, results)
         for leader, dupes in followers.items():
+            source = self._outcomes[leader]
             for index in dupes:
-                results[index] = results[leader]
-                self._notify(specs[index], SOURCE_MEMORY)
-        return results  # type: ignore[return-value]
+                if source is not None and source.ok:
+                    results[index] = results[leader]
+                    self._outcomes[index] = CellOutcome(
+                        spec=specs[index],
+                        status="ok",
+                        result=results[leader],
+                        attempts=0,
+                        source=SOURCE_MEMORY,
+                    )
+                    self._notify(specs[index], SOURCE_MEMORY)
+                else:
+                    # Mirror the leader's failure onto its duplicates.
+                    self._outcomes[index] = CellOutcome(
+                        spec=specs[index],
+                        status=source.status if source else "failed",
+                        error=source.error if source else None,
+                        attempts=source.attempts if source else 0,
+                        source=SOURCE_FAILED,
+                    )
+                    self._notify(specs[index], SOURCE_FAILED)
+        batch = BatchResult(self._outcomes)  # type: ignore[arg-type]
+        if batch.degraded:
+            telemetry = self.telemetry
+            telemetry.emit_wall(
+                BATCH_DEGRADED,
+                failed=len(batch.failures),
+                total=len(batch),
+            )
+            telemetry.metrics.counter("engine.batches_degraded").inc()
+            if self.failure_policy == "partial" and not batch.ok:
+                raise BatchExecutionError(batch)
+        return batch
 
     def run_one(self, spec: RunSpec) -> RunResult:
         """Single-cell convenience wrapper around :meth:`run`."""
@@ -247,8 +519,20 @@ class Engine:
 
     # -- cache layers ------------------------------------------------------
 
-    def _lookup(self, spec: RunSpec) -> Optional[Tuple[RunResult, str]]:
+    def _cell_cacheable(self, spec: RunSpec) -> bool:
+        """Both layers readable/writable for this cell in this engine?
+
+        A fault plan that perturbs simulation results poisons every cell
+        it touches: such results are functions of ``(spec, plan)``, not
+        of the configuration fingerprint, and must never be cached.
+        """
         if not (self.use_cache and spec.cacheable):
+            return False
+        plan = self.fault_plan
+        return plan is None or not plan.perturbs_simulation
+
+    def _lookup(self, spec: RunSpec) -> Optional[Tuple[RunResult, str]]:
+        if not self._cell_cacheable(spec):
             return None
         key = spec.cache_key()
         if key in self._memory:
@@ -275,12 +559,15 @@ class Engine:
         return None
 
     def _record(self, spec: RunSpec, result: RunResult) -> None:
-        if not (self.use_cache and spec.cacheable):
+        if not self._cell_cacheable(spec):
             return
         key = spec.cache_key()
         self._memory[key] = result
         if self.store is not None:
-            self.store.put(*key, result)
+            path = self.store.put(*key, result)
+            plan = self.fault_plan
+            if plan is not None and plan.decide("store_corrupt", key):
+                corrupt_file(path)
 
     def _notify(self, spec: RunSpec, source: str) -> None:
         self._done += 1
@@ -288,6 +575,78 @@ class Engine:
             self.progress(
                 CellProgress(self._done, self._total, spec, source)
             )
+
+    # -- failure bookkeeping ----------------------------------------------
+
+    def _record_success(
+        self, spec: RunSpec, index: int, result: RunResult, attempts: int,
+        results: List[Optional[RunResult]],
+    ) -> None:
+        results[index] = result
+        self._outcomes[index] = CellOutcome(
+            spec=spec,
+            status="ok",
+            result=result,
+            attempts=attempts,
+            source=SOURCE_SIMULATED,
+        )
+        self.stats.simulations += 1
+        self.telemetry.metrics.counter("engine.simulations").inc()
+        self._record(spec, result)
+        self._notify(spec, SOURCE_SIMULATED)
+
+    def _record_failure(
+        self, spec: RunSpec, index: int, attempts: int, error: BaseException
+    ) -> None:
+        """Terminal failure of one cell under skip/partial policies."""
+        if isinstance(error, CellTimeout):
+            status = "timeout"
+        elif isinstance(error, (BrokenProcessPool, _PoolBroken)):
+            status = "crashed"
+        else:
+            status = "failed"
+        self._outcomes[index] = CellOutcome(
+            spec=spec,
+            status=status,
+            error=repr(error),
+            attempts=attempts,
+            source=SOURCE_FAILED,
+        )
+        self.stats.failures += 1
+        telemetry = self.telemetry
+        telemetry.emit_wall(
+            CELL_FAILED,
+            benchmark=spec.benchmark_name,
+            scheme=spec.scheme,
+            status=status,
+            attempts=attempts,
+            error=repr(error)[:200],
+        )
+        telemetry.metrics.counter("engine.cell_failures").inc()
+        self._notify(spec, SOURCE_FAILED)
+
+    def _note_unarmed_timeout(self) -> None:
+        """A cell's timeout could not be armed (engine off main thread)."""
+        self.stats.timeouts_unarmed += 1
+        if not self._unarmed_warned:
+            self._unarmed_warned = True
+            self.telemetry.emit_wall(
+                TIMEOUT_DISABLED,
+                reason="SIGALRM needs the main thread; cells run unbounded",
+            )
+            self.telemetry.metrics.counter("engine.timeouts_unarmed").inc()
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        """Exponential backoff with jitter before retry ``attempt + 1``.
+
+        Wall-clock pacing only — it never influences results, so the
+        jitter may be (and is) non-deterministic.
+        """
+        base = self.retry_backoff
+        if base <= 0.0:
+            return
+        delay = min(base * 2.0 ** max(0, attempt - 1), 30.0)
+        time.sleep(delay * (0.5 + random.random()))
 
     # -- execution ---------------------------------------------------------
 
@@ -306,7 +665,7 @@ class Engine:
         else:
             serial = sorted(set(serial) | set(pool_eligible))
         for index in serial:
-            results[index] = self._run_serial(specs[index])
+            self._run_serial(specs[index], index, results)
 
     def _pool_eligible(self, spec: RunSpec) -> bool:
         return (
@@ -316,7 +675,12 @@ class Engine:
             and spec.preload_database is None
         )
 
-    def _run_serial(self, spec: RunSpec) -> RunResult:
+    def _run_serial(
+        self,
+        spec: RunSpec,
+        index: int,
+        results: List[Optional[RunResult]],
+    ) -> None:
         telemetry = self.telemetry
         attempts = 0
         while True:
@@ -334,10 +698,13 @@ class Engine:
                 if self.runner is not None:
                     result = self.runner(spec)
                 else:
+                    _inject_cell_faults(self.fault_plan, spec, attempts)
                     result = _run_with_alarm(
                         spec,
                         self.cell_timeout,
                         telemetry if telemetry.enabled else None,
+                        fault_plan=self.fault_plan,
+                        on_unarmed=self._note_unarmed_timeout,
                     )
                 break
             except Exception as error:  # noqa: BLE001 — retry boundary
@@ -351,9 +718,12 @@ class Engine:
                     )
                     telemetry.metrics.counter("engine.timeouts").inc()
                 if attempts > self.max_retries:
-                    raise CellExecutionError(
-                        spec, attempts, error
-                    ) from error
+                    if self.failure_policy == "raise":
+                        raise CellExecutionError(
+                            spec, attempts, error
+                        ) from error
+                    self._record_failure(spec, index, attempts, error)
+                    return
                 self.stats.retries += 1
                 telemetry.emit_wall(
                     RETRY,
@@ -363,7 +733,7 @@ class Engine:
                     attempt=attempts,
                 )
                 telemetry.metrics.counter("engine.retries").inc()
-        self.stats.simulations += 1
+                self._sleep_backoff(attempts)
         telemetry.emit_wall(
             CELL_DONE,
             track="worker:0",
@@ -372,10 +742,9 @@ class Engine:
             benchmark=spec.benchmark_name,
             scheme=spec.scheme,
         )
-        telemetry.metrics.counter("engine.simulations").inc()
-        self._record(spec, result)
-        self._notify(spec, SOURCE_SIMULATED)
-        return result
+        self._record_success(spec, index, result, attempts, results)
+
+    # -- pool execution -----------------------------------------------------
 
     def _run_pool(
         self,
@@ -383,21 +752,103 @@ class Engine:
         indices: List[int],
         results: List[Optional[RunResult]],
     ) -> None:
-        telemetry = self.telemetry
+        """Pool fan-out with worker-crash recovery.
+
+        Attempt counters, display lanes, and submission ordinals survive
+        pool rebuilds, so a cell's retry budget is global across crashes
+        and the telemetry lanes stay stable.
+        """
         attempts: Dict[int, int] = {i: 0 for i in indices}
-        # Display lanes: one telemetry track per pool slot (round-robin
-        # by submission order — a visualization aid, not a scheduler map).
         lanes: Dict[int, int] = {}
         submitted_at: Dict[int, float] = {}
-        submissions = 0
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {}
+        self._submissions = 0
+        to_run = list(indices)
+        rebuilds = 0
+        while to_run:
+            try:
+                self._pool_round(
+                    specs, to_run, results, attempts, lanes, submitted_at
+                )
+                return
+            except _PoolBroken as broken:
+                to_run = self._survivors_of_crash(
+                    specs, broken, attempts, results
+                )
+                if not to_run:
+                    return
+                rebuilds += 1
+                self.stats.pool_rebuilds += 1
+                if rebuilds > self.max_pool_rebuilds:
+                    # The pool keeps dying: degrade to in-process serial
+                    # execution for whatever is left.  Worker-crash
+                    # injection never fires in the parent process, and a
+                    # genuinely poisoned environment at least fails with
+                    # an attributable per-cell error.
+                    for index in to_run:
+                        self._run_serial(specs[index], index, results)
+                    return
+                self._sleep_backoff(rebuilds)
+
+    def _survivors_of_crash(
+        self,
+        specs: Sequence[RunSpec],
+        broken: _PoolBroken,
+        attempts: Dict[int, int],
+        results: List[Optional[RunResult]],
+    ) -> List[int]:
+        """Split crash-interrupted cells into resubmittable vs. exhausted."""
+        telemetry = self.telemetry
+        self.stats.worker_crashes += 1
+        telemetry.emit_wall(
+            WORKER_CRASH,
+            interrupted=len(broken.interrupted),
+            error=repr(broken.cause)[:200],
+        )
+        telemetry.metrics.counter("engine.worker_crashes").inc()
+        survivors: List[int] = []
+        for index in broken.interrupted:
+            spec = specs[index]
+            if attempts[index] > self.max_retries:
+                if self.failure_policy == "raise":
+                    raise CellExecutionError(
+                        spec, attempts[index], broken.cause
+                    ) from broken.cause
+                self._record_failure(
+                    spec, index, attempts[index], broken.cause
+                )
+                continue
+            self.stats.retries += 1
+            telemetry.emit_wall(
+                RETRY,
+                benchmark=spec.benchmark_name,
+                scheme=spec.scheme,
+                attempt=attempts[index],
+                reason="worker_crash",
+            )
+            telemetry.metrics.counter("engine.retries").inc()
+            survivors.append(index)
+        return survivors
+
+    def _pool_round(
+        self,
+        specs: Sequence[RunSpec],
+        indices: List[int],
+        results: List[Optional[RunResult]],
+        attempts: Dict[int, int],
+        lanes: Dict[int, int],
+        submitted_at: Dict[int, float],
+    ) -> None:
+        """One pool lifetime; raises :class:`_PoolBroken` on worker death."""
+        telemetry = self.telemetry
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures: Dict = {}
+        fail_fast = True
+        try:
 
             def _submit(index: int) -> None:
-                nonlocal submissions
                 attempts[index] += 1
-                lanes.setdefault(index, submissions % self.jobs)
-                submissions += 1
+                lanes.setdefault(index, self._submissions % self.jobs)
+                self._submissions += 1
                 submitted_at[index] = telemetry.now_us()
                 telemetry.emit_wall(
                     CELL_START,
@@ -409,12 +860,28 @@ class Engine:
                 )
                 futures[
                     pool.submit(
-                        _pool_worker, (specs[index], self.cell_timeout)
+                        _pool_worker,
+                        (
+                            specs[index],
+                            self.cell_timeout,
+                            self.fault_plan,
+                            attempts[index],
+                        ),
                     )
                 ] = index
 
+            def _broken(index: int, cause: BaseException) -> _PoolBroken:
+                interrupted = [index] + sorted(futures.values())
+                futures.clear()
+                return _PoolBroken(interrupted, cause)
+
             for index in indices:
-                _submit(index)
+                try:
+                    _submit(index)
+                except BrokenProcessPool as error:
+                    raise _broken(
+                        index, error
+                    ) from error  # pool died mid-submission
             while futures:
                 finished, _ = wait(
                     list(futures), return_when=FIRST_COMPLETED
@@ -426,8 +893,6 @@ class Engine:
                     error = future.exception()
                     if error is None:
                         result = future.result()
-                        results[index] = result
-                        self.stats.simulations += 1
                         telemetry.emit_wall(
                             CELL_DONE,
                             track=track,
@@ -436,12 +901,12 @@ class Engine:
                             benchmark=spec.benchmark_name,
                             scheme=spec.scheme,
                         )
-                        telemetry.metrics.counter(
-                            "engine.simulations"
-                        ).inc()
-                        self._record(spec, result)
-                        self._notify(spec, SOURCE_SIMULATED)
+                        self._record_success(
+                            spec, index, result, attempts[index], results
+                        )
                         continue
+                    if isinstance(error, BrokenProcessPool):
+                        raise _broken(index, error) from error
                     if isinstance(error, CellTimeout):
                         self.stats.timeouts += 1
                         telemetry.emit_wall(
@@ -452,11 +917,14 @@ class Engine:
                         )
                         telemetry.metrics.counter("engine.timeouts").inc()
                     if attempts[index] > self.max_retries:
-                        for other in futures:
-                            other.cancel()
-                        raise CellExecutionError(
-                            spec, attempts[index], error
-                        ) from error
+                        if self.failure_policy == "raise":
+                            raise CellExecutionError(
+                                spec, attempts[index], error
+                            ) from error
+                        self._record_failure(
+                            spec, index, attempts[index], error
+                        )
+                        continue
                     self.stats.retries += 1
                     telemetry.emit_wall(
                         RETRY,
@@ -466,4 +934,16 @@ class Engine:
                         attempt=attempts[index],
                     )
                     telemetry.metrics.counter("engine.retries").inc()
-                    _submit(index)
+                    self._sleep_backoff(attempts[index])
+                    try:
+                        _submit(index)
+                    except BrokenProcessPool as pool_error:
+                        raise _broken(
+                            index, pool_error
+                        ) from pool_error
+            fail_fast = False
+        finally:
+            # Fatal exits (CellExecutionError, _PoolBroken) must not sit
+            # waiting for in-flight cells of a poisoned batch; the clean
+            # exit has nothing in flight and shuts down normally.
+            _shutdown_pool(pool, fail_fast)

@@ -12,12 +12,18 @@ shims routing through one ``Engine.run(cells)`` entry point.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.config import ExperimentConfig
 from repro.sim.driver import RunResult, RunSpec, SCHEMES
-from repro.sim.engine import Engine, ProgressCallback, clear_memory_cache
+from repro.sim.engine import (
+    BatchExecutionError,
+    Engine,
+    ProgressCallback,
+    clear_memory_cache,
+)
 from repro.sim.store import ResultStore
 from repro.workloads.specjvm import BENCHMARK_NAMES
 
@@ -46,6 +52,8 @@ def make_engine(
     jobs: int = 1,
     use_cache: bool = True,
     progress: Optional[ProgressCallback] = None,
+    failure_policy: str = "raise",
+    fault_plan=None,
 ) -> Engine:
     """An engine wired to the shared memory cache and default store."""
     return Engine(
@@ -53,6 +61,8 @@ def make_engine(
         store=get_default_store(),
         use_cache=use_cache,
         progress=progress,
+        failure_policy=failure_policy,
+        fault_plan=fault_plan,
     )
 
 
@@ -156,7 +166,20 @@ def compare_schemes(
     config = config or ExperimentConfig()
     engine = engine or make_engine(use_cache=use_cache)
     cells = [RunSpec(benchmark, scheme, config) for scheme in SCHEMES]
-    baseline, bbv, hotspot = engine.run(cells)
+    batch = engine.run_batch(cells)
+    if batch.degraded:
+        # The comparison needs all three schemes; under "skip"/"partial"
+        # a missing cell makes it meaningless, so refuse cleanly rather
+        # than hand the caller None results.
+        failed = ", ".join(
+            f"{o.spec.scheme} ({o.status})" for o in batch.failures
+        )
+        raise BatchExecutionError(
+            batch,
+            f"cannot compare schemes for {benchmark!r}; "
+            f"failed cell(s): {failed}",
+        )
+    baseline, bbv, hotspot = batch.results
     return BenchmarkComparison(
         benchmark=benchmark,
         baseline=baseline,
@@ -179,6 +202,11 @@ def run_suite(
     batch, so with ``jobs > 1`` the cells that actually need simulating
     fan out across worker processes; cached cells (memory or store) never
     re-simulate.  Output is identical for any ``jobs`` value.
+
+    When the engine runs with a non-``"raise"`` failure policy, a
+    benchmark whose three scheme cells did not *all* succeed is dropped
+    from the suite (with a stderr note) rather than aborting the whole
+    comparison — the degraded-batch contract of docs/INTERNALS.md §11.
     """
     config = config or ExperimentConfig()
     engine = engine or make_engine(
@@ -190,14 +218,30 @@ def run_suite(
         for name in names
         for scheme in SCHEMES
     ]
-    runs = engine.run(cells)
+    batch = engine.run_batch(cells)
+    runs = batch.results
     results = SuiteResults()
     for position, name in enumerate(names):
         baseline, bbv, hotspot = runs[3 * position:3 * position + 3]
+        if baseline is None or bbv is None or hotspot is None:
+            print(
+                f"warning: dropping benchmark {name!r} from the suite "
+                "(one or more scheme cells failed)",
+                file=sys.stderr,
+            )
+            continue
         results.comparisons[name] = BenchmarkComparison(
             benchmark=name,
             baseline=baseline,
             bbv=bbv,
             hotspot=hotspot,
+        )
+    if names and not results.comparisons:
+        # An exhibit over zero benchmarks would render all-zero averages
+        # and look like a (meaningless) clean result.
+        raise BatchExecutionError(
+            batch,
+            "no benchmark survived the suite: every requested benchmark "
+            "had at least one failed scheme cell",
         )
     return results

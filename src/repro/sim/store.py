@@ -21,11 +21,19 @@ Entry layout (schema version 1)::
 
 Robustness rules:
 
-* reads that fail for *any* reason (corrupt JSON, wrong schema version,
-  fingerprint mismatch, missing/unknown result fields) are treated as
-  cache misses — the cell simply re-simulates and the entry is rewritten;
+* reads that fail are treated as cache misses — the cell simply
+  re-simulates and the entry is rewritten.  *Corrupt* entries (invalid
+  JSON, undecodable result payloads) are additionally **quarantined**:
+  renamed to ``<entry>.corrupt`` with a ``<entry>.corrupt.reason``
+  sidecar recording why, so damaged files are preserved as evidence and
+  surfaced by ``tools/store_gc.py`` instead of being silently
+  overwritten.  Entries with a merely *unknown schema version* (left by
+  older/newer checkouts) stay in place untouched — they are someone
+  else's valid data, not corruption;
 * writes are atomic (temp file + ``os.replace``), so a crashed or
-  concurrent writer can never leave a truncated entry behind;
+  concurrent writer can never leave a truncated entry behind — two
+  processes ``put()``-ing the same key concurrently both leave a valid
+  entry (last replace wins);
 * ``STORE_SCHEMA_VERSION`` must be bumped whenever the serialised shape
   of :class:`RunResult` changes, and the *fingerprint* version
   (:data:`repro.sim.config.FINGERPRINT_VERSION`) whenever simulator
@@ -41,7 +49,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.sim.driver import RunResult
 
@@ -56,6 +64,19 @@ DEFAULT_STORE_DIR = "results/store"
 
 def default_store_dir() -> Path:
     return Path(os.environ.get("REPRO_STORE_DIR", DEFAULT_STORE_DIR))
+
+
+@dataclass(frozen=True)
+class ClearStats:
+    """What :meth:`ResultStore.clear` removed, by file kind."""
+
+    entries: int = 0
+    tmp: int = 0
+    corrupt: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.entries + self.tmp + self.corrupt
 
 
 @dataclass(frozen=True)
@@ -86,6 +107,8 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path, None] = None):
         self.root = Path(root) if root is not None else default_store_dir()
+        #: Entries this instance quarantined (renamed to ``*.corrupt``).
+        self.quarantined = 0
 
     # -- addressing --------------------------------------------------------
 
@@ -100,18 +123,51 @@ class ResultStore:
     def get(
         self, benchmark: str, scheme: str, fingerprint: str
     ) -> Optional[RunResult]:
-        """Stored result for a cell, or None on miss/corruption/mismatch."""
+        """Stored result for a cell, or None on miss/corruption/mismatch.
+
+        A *corrupt* entry (undecodable JSON or result payload) is
+        quarantined on the spot — renamed to ``<entry>.corrupt`` with a
+        ``.reason`` sidecar — so the damage is preserved and visible
+        (``tools/store_gc.py``) instead of being silently rewritten by
+        the re-simulation that follows the miss.
+        """
         path = self.path_for(benchmark, scheme, fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("schema") != STORE_SCHEMA_VERSION:
-                return None
-            if payload.get("fingerprint") != fingerprint:
-                return None
-            return RunResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             return None
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            self._quarantine(path, f"unreadable entry: {error!r}")
+            return None
+        # An unknown schema version or foreign fingerprint is valid data
+        # that simply isn't ours to decode — a miss, not corruption.
+        if payload.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError) as error:
+            self._quarantine(path, f"undecodable result: {error!r}")
+            return None
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a damaged entry aside as ``*.corrupt`` + reason sidecar."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        try:
+            target.with_name(target.name + ".reason").write_text(
+                f"{reason}\nquarantined: {time.time():.0f}\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass
+        return target
 
     def put(
         self,
@@ -176,20 +232,59 @@ class ResultStore:
                     corrupt=True,
                 )
 
-    def clear(self) -> int:
-        """Delete every entry (and stale temp file); returns count removed."""
+    def stale_tmp_files(self) -> List[Path]:
+        """Leftover atomic-write temp files (a crashed writer's debris)."""
         if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.tmp"))
+
+    def corrupt_files(self) -> List[Path]:
+        """Quarantined entries (``*.corrupt``), excluding reason sidecars."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.root.glob("*.corrupt")
+            if path.suffix == ".corrupt"
+        )
+
+    def quarantine_reason(self, path: Path) -> Optional[str]:
+        """First line of a quarantined entry's reason sidecar, if any."""
+        try:
+            text = path.with_name(path.name + ".reason").read_text(
+                encoding="utf-8"
+            )
+        except OSError:
+            return None
+        return text.splitlines()[0] if text else None
+
+    def clear(self) -> ClearStats:
+        """Delete every entry, stale temp file, and quarantined file.
+
+        Returns per-kind counts (entries / tmp / corrupt) rather than one
+        conflated number — a large ``tmp`` count means crashed writers,
+        a large ``corrupt`` count means quarantined damage, and neither
+        should masquerade as cache size.
+        """
+        if not self.root.is_dir():
+            return ClearStats()
+        entries = tmp = corrupt = 0
+        for path in self.root.glob("*.json"):
+            entries += self._unlink(path)
+        for path in self.root.glob("*.tmp"):
+            tmp += self._unlink(path)
+        for path in self.corrupt_files():
+            corrupt += self._unlink(path)
+            self._unlink(path.with_name(path.name + ".reason"))
+        return ClearStats(entries=entries, tmp=tmp, corrupt=corrupt)
+
+    @staticmethod
+    def _unlink(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except OSError:
             return 0
-        removed = 0
-        for path in list(self.root.glob("*.json")) + list(
-            self.root.glob("*.tmp")
-        ):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
 
     def __len__(self) -> int:
         if not self.root.is_dir():

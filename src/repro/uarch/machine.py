@@ -189,6 +189,9 @@ class MachineModel:
         self.l2_cu_name = hierarchy.l2.name
         #: Telemetry sink; the VM swaps in a live session when tracing.
         self.telemetry = NULL_TELEMETRY
+        #: Optional :class:`repro.faults.FaultPlan` — when set, its
+        #: ``reconfig_deny`` site injects denials on top of the guard.
+        self.fault_plan = None
 
     # -- execution hot path -------------------------------------------------
 
@@ -246,12 +249,34 @@ class MachineModel:
         Returns True iff the CU now holds ``index``.  Requests for the
         current setting succeed for free without consuming the guard;
         requests inside the CU's reconfiguration interval are silently
-        denied (paper §3.4) and return False.
+        denied (paper §3.4) and return False.  An installed
+        :class:`~repro.faults.FaultPlan` with ``reconfig_deny`` > 0 can
+        deny additional requests the guard would have granted — policies
+        must already tolerate False here, so an injected denial simply
+        delays the configuration change to a later invocation.
         """
         cu = self.cus[cu_name]
         if index == cu.current_index:
             return True
         telemetry = self.telemetry
+        plan = self.fault_plan
+        if plan is not None and plan.decide(
+            "reconfig_deny", (cu_name, self.instructions)
+        ):
+            self.denied_reconfigurations[cu_name] += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    RECONFIG_DENIED,
+                    ts=self.instructions,
+                    track=f"CU:{cu_name}",
+                    actor=actor,
+                    wanted=cu.describe_setting(index),
+                    injected=True,
+                )
+                telemetry.metrics.counter(
+                    f"machine.reconfigs_denied.{cu_name}"
+                ).inc()
+            return False
         if not self.guard.request(cu_name, self.instructions):
             self.denied_reconfigurations[cu_name] += 1
             if telemetry.enabled:

@@ -1,0 +1,260 @@
+"""Seeded chaos suite (``-m chaos``): the fault-injection acceptance gate.
+
+Everything here runs under an injected-fault schedule with real process
+pools — worker crashes (``os._exit`` → ``BrokenProcessPool``), injected
+timeouts, corrupted store entries — and asserts the engine's graceful
+degradation: batches complete with per-cell outcomes, broken pools are
+rebuilt (and eventually degraded to serial execution), and the same seed
+reproduces the same fault schedule and the same outcomes.
+
+CI runs this file as its own step with a hard job timeout, so a
+regression that deadlocks the pool-recovery path fails fast instead of
+hanging the whole workflow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, PROBABILITY_SITES
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec
+from repro.sim.engine import Engine
+from repro.sim.store import ResultStore
+from repro.workloads.specjvm import BENCHMARK_NAMES
+
+pytestmark = pytest.mark.chaos
+
+BUDGET = 25_000
+SCHEMES = ("baseline", "hotspot")
+
+
+def suite_cells(config):
+    return [
+        RunSpec(name, scheme, config)
+        for name in BENCHMARK_NAMES
+        for scheme in SCHEMES
+    ]
+
+
+class TestChaosGate:
+    """The ISSUE's acceptance gate: 7 benchmarks × 2 schemes under chaos."""
+
+    PLAN = dict(seed=1305, worker_crash=0.2, cell_timeout=0.15,
+                store_corrupt=0.5)
+
+    def run_once(self, tmp_path, tag):
+        config = ExperimentConfig(max_instructions=BUDGET)
+        plan = FaultPlan(**self.PLAN)
+        store = ResultStore(tmp_path / f"store-{tag}")
+        engine = Engine(
+            jobs=2,
+            store=store,
+            memory_cache={},
+            fault_plan=plan,
+            max_retries=5,
+            failure_policy="partial",
+        )
+        batch = engine.run_batch(suite_cells(config))
+        return engine, plan, batch
+
+    def test_degraded_batch_completes_with_per_cell_outcomes(
+        self, tmp_path
+    ):
+        engine, plan, batch = self.run_once(tmp_path, "gate")
+        assert len(batch) == len(BENCHMARK_NAMES) * len(SCHEMES)
+        for outcome in batch:
+            assert outcome.status in ("ok", "failed", "timeout", "crashed")
+            if outcome.ok:
+                assert outcome.result is not None
+            else:
+                assert outcome.result is None and outcome.error
+        # The schedule at this seed actually exercised the chaos paths.
+        assert engine.stats.worker_crashes >= 1
+        assert engine.stats.pool_rebuilds >= 1
+        assert engine.stats.retries >= 1
+        assert plan.injected.get("store_corrupt", 0) >= 1
+        # The schedule *contains* timeout draws; whether a given draw's
+        # attempt ever executes is scheduling-dependent under crash
+        # interference (INTERNALS.md §11), so the executed-timeout count
+        # is asserted in the deterministic no-crash test below instead.
+        assert any(
+            plan.decide("cell_timeout", (name, scheme, attempt))
+            for name in BENCHMARK_NAMES
+            for scheme in SCHEMES
+            for attempt in range(1, 7)
+        )
+
+    def test_same_seed_reproduces_schedule_and_outcomes(self, tmp_path):
+        _, _, first = self.run_once(tmp_path, "a")
+        _, _, second = self.run_once(tmp_path, "b")
+        # Identical fault schedule: decisions are pure functions of
+        # (seed, site, key), independent of pool scheduling.
+        plan_a = FaultPlan(**self.PLAN)
+        plan_b = FaultPlan(**self.PLAN)
+        for site in PROBABILITY_SITES:
+            for name in BENCHMARK_NAMES:
+                for scheme in SCHEMES:
+                    for attempt in range(1, 7):
+                        key = (name, scheme, attempt)
+                        assert plan_a.decide(site, key) == plan_b.decide(
+                            site, key
+                        )
+        # Identical outcomes: same statuses, and bit-identical results
+        # for the surviving cells (simulation is deterministic no matter
+        # how many crash-interrupted attempts preceded it).
+        assert [o.status for o in first] == [o.status for o in second]
+        for a, b in zip(first, second):
+            if a.ok:
+                assert a.result == b.result
+
+    def test_corrupted_entries_quarantined_by_next_reader(self, tmp_path):
+        engine, plan, batch = self.run_once(tmp_path, "quarantine")
+        store = engine.store
+        corrupted = plan.injected.get("store_corrupt", 0)
+        assert corrupted >= 1
+        # A fresh engine over the same store must quarantine every
+        # damaged entry it touches and re-simulate those cells — the
+        # batch still completes.
+        reader = Engine(
+            jobs=1,
+            store=store,
+            memory_cache={},
+            failure_policy="partial",
+        )
+        rerun = reader.run_batch(
+            suite_cells(ExperimentConfig(max_instructions=BUDGET))
+        )
+        assert store.quarantined == corrupted
+        assert len(store.corrupt_files()) == corrupted
+        for path in store.corrupt_files():
+            assert store.quarantine_reason(path)
+        for a, b in zip(batch, rerun):
+            if a.ok and b.ok:
+                assert a.result == b.result
+
+
+class TestPoolCrashRecovery:
+    def test_persistent_crashes_degrade_to_serial(self, tmp_path):
+        # Every pool attempt crashes; after the rebuild budget the
+        # engine must fall back to in-process serial execution (where
+        # worker_crash never fires) and still produce every result.
+        config = ExperimentConfig(max_instructions=BUDGET)
+        plan = FaultPlan(seed=0, worker_crash=1.0)
+        engine = Engine(
+            jobs=2,
+            store=ResultStore(tmp_path / "store"),
+            memory_cache={},
+            fault_plan=plan,
+            max_retries=10,
+            max_pool_rebuilds=2,
+            failure_policy="partial",
+        )
+        cells = [
+            RunSpec(name, "baseline", config)
+            for name in BENCHMARK_NAMES[:3]
+        ]
+        batch = engine.run_batch(cells)
+        assert not batch.degraded
+        assert all(o.ok for o in batch)
+        assert engine.stats.worker_crashes >= 1
+        assert engine.stats.pool_rebuilds >= engine.max_pool_rebuilds
+        assert engine.stats.simulations == len(cells)
+
+    def test_exhausted_crash_budget_fails_cells_not_process(self, tmp_path):
+        # Tight retry budget: cells die as "crashed" outcomes instead of
+        # taking the batch (or the parent process) down.
+        config = ExperimentConfig(max_instructions=BUDGET)
+        plan = FaultPlan(seed=0, worker_crash=1.0)
+        engine = Engine(
+            jobs=2,
+            store=None,
+            memory_cache={},
+            fault_plan=plan,
+            max_retries=1,
+            max_pool_rebuilds=10,
+            failure_policy="skip",
+        )
+        cells = [
+            RunSpec(name, "baseline", config)
+            for name in BENCHMARK_NAMES[:2]
+        ]
+        batch = engine.run_batch(cells)
+        assert batch.degraded
+        assert [o.status for o in batch] == ["crashed", "crashed"]
+        assert all("BrokenProcessPool" in (o.error or "") for o in batch)
+
+
+class TestNoCrashChaosDeterminism:
+    def test_full_outcome_records_reproduce_without_crash_interference(
+        self, tmp_path
+    ):
+        # Without worker crashes no cell can be interrupted by a
+        # neighbour, so even the per-cell attempt counts are pure
+        # functions of the seed and must reproduce exactly.
+        def run(tag):
+            config = ExperimentConfig(max_instructions=BUDGET)
+            engine = Engine(
+                jobs=2,
+                store=ResultStore(tmp_path / f"store-{tag}"),
+                memory_cache={},
+                fault_plan=FaultPlan(
+                    seed=77, cell_exception=0.3, cell_timeout=0.2
+                ),
+                max_retries=3,
+                failure_policy="skip",
+            )
+            return engine, engine.run_batch(suite_cells(config))
+
+        engine_a, first = run("a")
+        engine_b, second = run("b")
+        # Without crash interference the executed-timeout count is a
+        # pure function of the seed — this pins the timeout site the
+        # crash-gate test above cannot assert deterministically.
+        assert engine_a.stats.timeouts >= 1
+        assert engine_a.stats.timeouts == engine_b.stats.timeouts
+        records = lambda batch: [  # noqa: E731
+            (o.spec.benchmark_name, o.spec.scheme, o.status, o.attempts,
+             o.error)
+            for o in batch
+        ]
+        assert records(first) == records(second)
+
+
+class TestChaosCLI:
+    def test_inject_and_on_error_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            [
+                "quick",
+                "--benchmarks", "db",
+                "--instructions", str(BUDGET),
+                "--store-dir", str(tmp_path / "store"),
+                "--inject", "seed=9,cell_exception=0.2,cell_timeout=0.1",
+                "--on-error", "partial",
+                "--stats-json", str(stats_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(stats_path.read_text())
+        assert payload["simulations"] >= 1
+        out = capsys.readouterr().out
+        assert "energy reduction" in out
+
+    def test_bad_inject_spec_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "quick",
+                    "--store-dir", str(tmp_path / "store"),
+                    "--inject", "seed=1,bogus=0.5",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "bad --inject plan" in capsys.readouterr().err

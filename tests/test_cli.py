@@ -164,3 +164,33 @@ class TestStoreGC:
             assert line[schema_col:].startswith("v")
             assert line[age_col:].rstrip().endswith("d")
         assert "3 entries" in lines[-1]
+
+    def test_list_flags_quarantined_and_tmp_files(self, capsys, tmp_path):
+        from repro.sim.store import ResultStore
+
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        # A quarantined entry with its reason sidecar, plus crashed-
+        # writer debris — exactly what a chaotic run leaves behind.
+        (store_dir / "db__hotspot__abc.json.corrupt").write_text("{trunc")
+        (store_dir / "db__hotspot__abc.json.corrupt.reason").write_text(
+            "unreadable entry: JSONDecodeError\nquarantined: 1754000000\n"
+        )
+        (store_dir / "db__hotspot__abc.jsonK7Q.tmp").write_text("{half")
+
+        store_gc = self._load_tool()
+        assert store_gc.main(["--store-dir", str(store_dir), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined (corrupt) file(s):" in out
+        assert "db__hotspot__abc.json.corrupt: unreadable entry" in out
+        assert "1 leftover .tmp file(s)" in out
+        assert "db__hotspot__abc.jsonK7Q.tmp" in out
+
+        # --all --prune wipes them (and the reason sidecar) too.
+        assert store_gc.main(
+            ["--store-dir", str(store_dir), "--all", "--prune"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "+2 corrupt/tmp file(s)" in out
+        assert list(store_dir.iterdir()) == []
+        assert ResultStore(store_dir).corrupt_files() == []

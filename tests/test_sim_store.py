@@ -180,7 +180,11 @@ class TestSchemaGuards:
     def test_clear_removes_entries(self, tmp_path):
         store, fingerprint, _ = self.setup_entry(tmp_path)
         assert len(store) == 1
-        assert store.clear() == 1
+        stats = store.clear()
+        assert stats.entries == 1
+        assert stats.tmp == 0
+        assert stats.corrupt == 0
+        assert stats.total == 1
         assert len(store) == 0
         assert store.get("db", "hotspot", fingerprint) is None
 
@@ -346,3 +350,66 @@ class TestTwoProcessStoreHit:
         second = run_fresh_process(tmp_path)
         assert second["SIMULATIONS"] == 0
         assert second["STORE_HITS"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers: atomic replace keeps every reader valid
+# ---------------------------------------------------------------------------
+
+CONCURRENT_WRITER_SCRIPT = """
+import sys
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec, execute
+from repro.sim.store import ResultStore
+
+store = ResultStore(sys.argv[1])
+spec = RunSpec("db", "baseline", ExperimentConfig(max_instructions=60_000))
+key = spec.cache_key()
+result = execute(spec)
+# Hammer the same key while the sibling process does the same; every
+# interleaved get() must see a complete entry (atomic replace), never a
+# torn write.
+for round in range(25):
+    store.put(*key, result)
+    loaded = store.get(*key)
+    assert loaded is not None, f"torn read in round {round}"
+    assert loaded == result
+assert store.quarantined == 0
+print("WRITER_OK", sys.argv[2])
+"""
+
+
+class TestConcurrentWriters:
+    def test_same_key_writers_never_tear_each_other(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC_DIR]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        )
+        writers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", CONCURRENT_WRITER_SCRIPT,
+                    str(tmp_path), str(index),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for index in range(2)
+        ]
+        for index, writer in enumerate(writers):
+            out, err = writer.communicate(timeout=300)
+            assert writer.returncode == 0, err
+            assert f"WRITER_OK {index}" in out
+        # Whichever replace landed last, the surviving entry is valid
+        # and there is no .tmp debris or quarantined damage behind.
+        store = ResultStore(tmp_path)
+        spec = RunSpec(
+            "db", "baseline", ExperimentConfig(max_instructions=60_000)
+        )
+        assert store.get(*spec.cache_key()) is not None
+        assert store.stale_tmp_files() == []
+        assert store.corrupt_files() == []
+        assert len(store) == 1

@@ -158,6 +158,24 @@ def main(argv: List[str] = None) -> int:
             f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
             f"in {store.root}"
         )
+        quarantined = store.corrupt_files()
+        if quarantined:
+            print()
+            print(f"{len(quarantined)} quarantined (corrupt) file(s):")
+            for path in quarantined:
+                reason = store.quarantine_reason(path) or "no reason recorded"
+                print(f"  {path.name}: {reason}")
+            print("  (prune with --all --prune)")
+        stale = store.stale_tmp_files()
+        if stale:
+            print()
+            print(
+                f"{len(stale)} leftover .tmp file(s) — debris of crashed "
+                "atomic writes:"
+            )
+            for path in stale:
+                print(f"  {path.name}")
+            print("  (prune with --all --prune)")
         return 0
     filtering = (
         args.all or args.unknown_schema or args.older_than_days is not None
@@ -181,9 +199,32 @@ def main(argv: List[str] = None) -> int:
                 entry.path.unlink()
             except OSError as error:
                 print(f"  failed: {error}", file=sys.stderr)
+    extra = 0
+    if args.all:
+        # A full wipe also clears quarantined files (with their reason
+        # sidecars) and crashed-writer .tmp debris.
+        for path in store.corrupt_files():
+            reason_path = path.with_name(path.name + ".reason")
+            print(f"{verb} {path.name}: quarantined")
+            extra += 1
+            if args.prune:
+                for victim in (path, reason_path):
+                    try:
+                        victim.unlink()
+                    except OSError:
+                        pass
+        for path in store.stale_tmp_files():
+            print(f"{verb} {path.name}: leftover .tmp")
+            extra += 1
+            if args.prune:
+                try:
+                    path.unlink()
+                except OSError as error:
+                    print(f"  failed: {error}", file=sys.stderr)
+    suffix = f" (+{extra} corrupt/tmp file(s))" if extra else ""
     print(
         f"{verb} {len(chosen)} of {total} "
-        f"entr{'y' if total == 1 else 'ies'} in {store.root}"
+        f"entr{'y' if total == 1 else 'ies'} in {store.root}{suffix}"
     )
     return 0
 
