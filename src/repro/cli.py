@@ -106,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="simulation seed"
     )
     parser.add_argument(
+        "--kernel",
+        choices=["fast", "reference"],
+        default=None,
+        help="simulation kernel: 'fast' (batched/inlined hot loop, the "
+        "default) or 'reference' (the readable interpreter); the two are "
+        "bit-identical (tests/test_kernel_equivalence.py)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -175,6 +183,8 @@ def make_config(args) -> ExperimentConfig:
         config.hot_threshold = args.hot_threshold
     if args.seed is not None:
         config.seed = args.seed
+    if args.kernel is not None:
+        config.sim_kernel = args.kernel
     return config
 
 

@@ -80,6 +80,20 @@ class MemoryBehavior(abc.ABC):
         """Approximate byte working set, if statically known (for docs/tests)."""
         return None
 
+    def compile_fast(self, n_loads: int, n_stores: int):
+        """Optional specialised generator for the fast simulation kernel.
+
+        Returns a callable ``(rng, frame_base, region_base, iteration) ->
+        (loads, stores)`` that produces *exactly* the addresses (and the
+        exact RNG draw sequence) :meth:`generate` would for the given
+        fixed ``n_loads``/``n_stores``, or ``None`` when no
+        specialisation exists (the fast kernel then falls back to
+        :meth:`generate`).  Block reference counts are static, so the
+        fast kernel compiles one specialised closure per block at decode
+        time (see :class:`repro.vm.jit.DecodedBlock`).
+        """
+        return None
+
 
 # ---------------------------------------------------------------------------
 # Branch deciders
@@ -375,10 +389,17 @@ class Method:
         self.region = region
         self.attributes: Dict[str, object] = dict(attributes or {})
         self.code_base: Optional[int] = None
+        self._static_insns: Optional[int] = None
 
     @property
     def static_instruction_count(self) -> int:
-        return sum(b.n_instructions for b in self.blocks.values())
+        # Cached: the VM reads this (via code_footprint) on every method
+        # invocation, and block mixes are immutable after construction.
+        count = self._static_insns
+        if count is None:
+            count = sum(b.n_instructions for b in self.blocks.values())
+            self._static_insns = count
+        return count
 
     @property
     def code_footprint(self) -> int:

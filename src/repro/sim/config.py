@@ -154,7 +154,13 @@ class MachineConfig:
 #: Version prefix baked into every fingerprint.  Bump when the meaning of
 #: a configuration field changes (so old persistent-store entries stop
 #: matching) — see docs/INTERNALS.md §9.
-FINGERPRINT_VERSION = 1
+#: v2: deterministic (CRC32) instruction-fetch addressing replaced the
+#: PYTHONHASHSEED-salted ``hash()`` base, changing every simulation's L2
+#: instruction traffic; ``sim_kernel`` was also added to the config.
+FINGERPRINT_VERSION = 2
+
+#: Legal values of :attr:`ExperimentConfig.sim_kernel`.
+SIM_KERNELS = ("fast", "reference")
 
 
 def canonicalize(obj):
@@ -192,6 +198,20 @@ class ExperimentConfig:
     max_instructions: int = 6_000_000
     hot_threshold: int = 4
     seed: int = 12345
+    #: Which interpreter executes the run: "fast" (the batched, inlined
+    #: kernel of :mod:`repro.vm.fastvm`) or "reference" (the readable
+    #: :class:`repro.vm.vm.VirtualMachine` loop).  The two are proven
+    #: bit-identical by tests/test_kernel_equivalence.py; the field is
+    #: still part of the fingerprint so results from the two kernels
+    #: never collide in the persistent store.
+    sim_kernel: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.sim_kernel not in SIM_KERNELS:
+            raise ValueError(
+                f"sim_kernel must be one of {SIM_KERNELS}, "
+                f"got {self.sim_kernel!r}"
+            )
 
     def fingerprint(self) -> str:
         """Content hash over *every* nested knob (versioned, hex).

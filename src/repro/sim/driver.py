@@ -15,7 +15,8 @@ from typing import Dict, Optional, Tuple, Union
 from repro.core.policy import HotspotACEPolicy, HotspotPolicyStats
 from repro.core.prediction import install_program_for_prediction
 from repro.phases.policy import BBVACEPolicy, BBVPolicyStats
-from repro.sim.config import ExperimentConfig, build_machine
+from repro.sim.config import SIM_KERNELS, ExperimentConfig, build_machine
+from repro.vm.fastvm import FastVirtualMachine
 from repro.vm.vm import AdaptationHooks, VMConfig, VirtualMachine
 from repro.workloads.specjvm import BuiltBenchmark, build_benchmark
 
@@ -183,6 +184,17 @@ def make_policy(scheme: str, config: ExperimentConfig) -> AdaptationHooks:
     raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
 
 
+def make_vm_class(kernel: str):
+    """Resolve a ``sim_kernel`` name to the interpreter class."""
+    if kernel == "fast":
+        return FastVirtualMachine
+    if kernel == "reference":
+        return VirtualMachine
+    raise ValueError(
+        f"unknown sim_kernel {kernel!r}; known: {SIM_KERNELS}"
+    )
+
+
 def run_benchmark(
     benchmark: Union[str, BuiltBenchmark, RunSpec],
     scheme: str = "hotspot",
@@ -256,7 +268,8 @@ def execute(spec: RunSpec, telemetry=None, fault_plan=None) -> RunResult:
         gc_method="gc_sweep" if built.spec.gc else "",
         gc_period_instructions=built.spec.gc_period if built.spec.gc else 0,
     )
-    vm = VirtualMachine(
+    vm_class = make_vm_class(getattr(config, "sim_kernel", "fast"))
+    vm = vm_class(
         built.program,
         machine,
         policy=policy,

@@ -9,6 +9,7 @@ paper and only matters here as a source of L2 traffic (DESIGN.md §6).
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional
 
 from repro.uarch.cache import AccessResult, Cache
@@ -92,8 +93,12 @@ class CacheHierarchy:
             # Fetch the cold lines through the unified L2; use the code
             # segment addresses so instruction lines occupy L2 honestly.
             # We approximate with sequential lines from a per-method hash
-            # base inside a dedicated code window.
-            base = (hash(method) & 0xFFFF) << 12
+            # base inside a dedicated code window.  CRC32 rather than
+            # hash(): builtin str hashing is salted per process
+            # (PYTHONHASHSEED), which would make results differ between
+            # processes and break golden-trace fixtures and the
+            # persistent result store's cross-process reuse.
+            base = (zlib.crc32(method.encode("utf-8")) & 0xFFFF) << 12
             line = self.l2.line_size
             addrs = [0x4000_0000 + base + i * line for i in range(misses)]
             result = self.l2.access_many(addrs, ())

@@ -106,6 +106,25 @@ class TimingModel:
             cycles += mispredicts * p.mispredict_penalty
         return cycles
 
+    def hot_constants(self) -> "tuple":
+        """The per-block cost constants, pre-fetched for the fast kernel.
+
+        Returns ``(cycles_per_insn, l2_hit_latency, memory_latency,
+        mispredict_penalty, mlp)``.  These are fixed for a run —
+        :class:`TimingParams` is never mutated after construction — so the
+        fast kernel binds them as loop locals once per quantum.
+        ``ilp_factor`` is deliberately *not* included: pipeline CUs change
+        it mid-run, so the hot loop must read ``self._ilp_factor`` live.
+        """
+        p = self.params
+        return (
+            self._cycles_per_insn,
+            p.l2_hit_latency,
+            p.memory_latency,
+            p.mispredict_penalty,
+            p.mlp,
+        )
+
     def flush_penalty(self, dirty_lines: int) -> float:
         """Stall cycles for writing back ``dirty_lines`` during a resize."""
         return dirty_lines * self.params.flush_cycles_per_line

@@ -1,0 +1,247 @@
+"""Source-level codegen for fused block bodies (fast kernel).
+
+When the adaptation policy installs no ``on_block`` hook, nothing ever
+reads a block's load/store address lists: the addresses are generated,
+pushed through the L1D, and discarded.  For that case this module
+compiles — once per distinct ``(behaviour parameters, n_loads,
+n_stores)`` signature, cached for the process lifetime — a *fused*
+closure that draws each address and applies the L1D state transition in
+the same loop iteration, skipping the intermediate lists entirely.
+Small reference counts are fully unrolled.
+
+Correctness contract (enforced by ``tests/test_kernel_equivalence.py``
+and the property tests): a fused closure must consume the RNG stream and
+mutate cache state *exactly* like the readable pair
+(:meth:`MemoryBehavior.generate` followed by
+:meth:`~repro.uarch.cache.Cache.access_many`):
+
+* address draws replicate CPython's ``randrange`` rejection loop
+  (see ``_u4`` in :mod:`repro.workloads.patterns`), all loads drawn
+  before all stores — which for every flat behaviour equals the order
+  ``generate`` draws them in (``MixedBehavior`` interleaves per
+  component, so it is *not* fused and returns ``None``);
+* the cache-update snippet mirrors ``Cache.access_block`` line for line:
+  pop-with-default LRU touch, write-allocate, dirty-victim writeback;
+* cache geometry (``_sets``/``_set_mask``/…) is re-read on every call,
+  so mid-run resizes behave identically.
+
+The emitted function returns ``(read_misses, write_misses, miss_lines,
+writeback_lines)``.  Hits are never counted — per block they are just
+``n_loads - read_misses`` / ``n_stores - write_misses``, both known to
+the caller — so the (dominant) hit path is a single LRU re-insert.  The
+two line lists are lazily allocated and come back as ``None`` when empty
+(most blocks on a warm cache miss nothing; skipping two list allocations
+per block is measurable).  Statistics updates are left to the caller
+(the fast kernel inlines them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.workloads.patterns import (
+    WORD,
+    PointerChaseBehavior,
+    StackBehavior,
+    StridedBehavior,
+    WanderingWindowBehavior,
+    WorkingSetBehavior,
+    _u4,
+)
+
+#: Reference counts up to this many are unrolled; above it, a loop is
+#: emitted (keeps generated code — and compile time — bounded).
+UNROLL_LIMIT = 16
+
+#: Process-wide cache of compiled closures, keyed by the behaviour's
+#: parameter signature plus the reference counts.  Benchmarks build
+#: methods from a handful of behaviour templates, so runs and test cases
+#: share almost all entries.
+_CACHE: Dict[Tuple, Callable] = {}
+
+
+def _rejection_draw(n: int, k: int, indent: str) -> str:
+    """The ``randrange(0, span, WORD)`` draw: CPython's rejection loop."""
+    return (
+        f"{indent}r = getrandbits({k})\n"
+        f"{indent}while r >= {n}:\n"
+        f"{indent}    r = getrandbits({k})\n"
+    )
+
+
+def _signature(behavior) -> Optional[Tuple]:
+    """Hashable parameter signature, or None if the behaviour can't fuse."""
+    if type(behavior) is StackBehavior:
+        return ("stack", behavior.span)
+    if type(behavior) is WorkingSetBehavior:
+        return ("ws", behavior.span, behavior.locality, behavior.offset)
+    if type(behavior) is PointerChaseBehavior:
+        return ("pc", behavior.span, behavior.offset)
+    if type(behavior) is WanderingWindowBehavior:
+        return (
+            "ww",
+            behavior.window,
+            behavior.region_span,
+            behavior.drift,
+        )
+    if type(behavior) is StridedBehavior:
+        return ("st", behavior.span, behavior.stride, behavior.offset)
+    return None
+
+
+def _draw_parts(behavior, n_loads: int, n_stores: int):
+    """Returns (prologue, load_snippet, store_snippet) source fragments.
+
+    Each snippet draws one address and leaves its cache-line index in
+    ``line`` (the address itself is never materialised — only the line
+    matters to the L1D) and is emitted once per reference (unrolled) or
+    inside a ``for`` loop.  The prologue runs once per call and may bind
+    draw-time locals.
+    """
+    if type(behavior) is StackBehavior:
+        n, k = _u4(behavior.span)
+        snippet = _rejection_draw(n, k, "    ") + (
+            f"    line = (frame_base + r * {WORD}) >> line_shift\n"
+        )
+        return "", snippet, snippet
+    if type(behavior) is WorkingSetBehavior:
+        n_hot, k_hot = _u4(behavior._hot_span)
+        n_span, k_span = _u4(behavior.span)
+        prologue = (
+            f"    base = region_base + {behavior.offset}\n"
+            "    random = rng.random\n"
+        )
+        snippet = (
+            f"    if random() < {behavior.locality!r}:\n"
+            + _rejection_draw(n_hot, k_hot, "        ")
+            + "    else:\n"
+            + _rejection_draw(n_span, k_span, "        ")
+            + f"    line = (base + r * {WORD}) >> line_shift\n"
+        )
+        return prologue, snippet, snippet
+    if type(behavior) is PointerChaseBehavior:
+        n, k = _u4(behavior.span)
+        prologue = f"    base = region_base + {behavior.offset}\n"
+        snippet = _rejection_draw(n, k, "    ") + (
+            f"    line = (base + r * {WORD}) >> line_shift\n"
+        )
+        return prologue, snippet, snippet
+    if type(behavior) is WanderingWindowBehavior:
+        n, k = _u4(behavior.window)
+        span = behavior.region_span
+        prologue = (
+            f"    position = (iteration * {behavior.drift}) % {span}\n"
+        )
+        snippet = _rejection_draw(n, k, "    ") + (
+            "    line = (region_base"
+            f" + (position + r * {WORD}) % {span}) >> line_shift\n"
+        )
+        return prologue, snippet, snippet
+    if type(behavior) is StridedBehavior:
+        span = behavior.span
+        stride = behavior.stride
+        refs = n_loads + n_stores
+        # generate(): addr_i = base + (start + i*stride) % span with
+        # start = iteration*refs*stride; stepping off by stride modulo
+        # span yields the same sequence without the per-ref multiply.
+        prologue = (
+            f"    base = region_base + {behavior.offset}\n"
+            f"    off = (iteration * {refs * stride}) % {span}\n"
+        )
+        snippet = (
+            "    line = (base + off) >> line_shift\n"
+            f"    off = (off + {stride}) % {span}\n"
+        )
+        return prologue, snippet, snippet
+    raise AssertionError(f"unfusable behaviour {behavior!r}")
+
+
+#: L1D state transition per address — textually mirrors
+#: ``Cache.access_block`` (kept in lockstep by the equivalence and
+#: property suites).  ``{hit}``/``{miss}``/``{fill}`` are filled per
+#: access type.
+_CACHE_SNIPPET = """\
+    s = sets[line & set_mask]
+    prev = s.pop(line, missing)
+    if prev is not missing:
+        {hit}
+    else:
+        {miss} += 1
+        if miss_lines is None:
+            miss_lines = []
+        miss_lines.append(line << line_shift)
+        if len(s) >= assoc:
+            victim = next(iter(s))
+            if s.pop(victim):
+                if wb_lines is None:
+                    wb_lines = []
+                wb_lines.append(victim << line_shift)
+        s[line] = {fill}
+"""
+
+_LOAD_ACCESS = _CACHE_SNIPPET.format(
+    hit="s[line] = prev",
+    miss="r_m",
+    fill="False",
+)
+_STORE_ACCESS = _CACHE_SNIPPET.format(
+    hit="s[line] = True",
+    miss="w_m",
+    fill="True",
+)
+
+
+def _emit_refs(draw: str, access: str, count: int) -> str:
+    """Unrolled (or looped) source for ``count`` references."""
+    if count == 0:
+        return ""
+    body = draw + access
+    if count <= UNROLL_LIMIT:
+        return body * count
+    indented = "".join(
+        "    " + line if line.strip() else line
+        for line in body.splitlines(keepends=True)
+    )
+    return f"    for _ in range({count}):\n{indented}"
+
+
+def compile_fused_block(behavior, n_loads: int, n_stores: int):
+    """Compile (or fetch from cache) a fused body for ``behavior``.
+
+    Returns ``fused(rng, frame_base, region_base, iteration, l1,
+    missing)`` or ``None`` when the behaviour has no fused form
+    (``MixedBehavior``, custom behaviours).
+    """
+    sig = _signature(behavior)
+    if sig is None:
+        return None
+    key = sig + (n_loads, n_stores)
+    fn = _CACHE.get(key)
+    if fn is not None:
+        return fn
+    prologue, load_snip, store_snip = _draw_parts(
+        behavior, n_loads, n_stores
+    )
+    source = (
+        "def fused(rng, frame_base, region_base, iteration, l1, missing):\n"
+        "    getrandbits = rng.getrandbits\n"
+        "    line_shift = l1._line_shift\n"
+        "    set_mask = l1._set_mask\n"
+        "    sets = l1._sets\n"
+        "    assoc = l1.associativity\n"
+        "    miss_lines = None\n"
+        "    wb_lines = None\n"
+        "    r_m = 0\n"
+        "    w_m = 0\n"
+        + prologue
+        + _emit_refs(load_snip, _LOAD_ACCESS, n_loads)
+        + _emit_refs(store_snip, _STORE_ACCESS, n_stores)
+        + "    return r_m, w_m, miss_lines, wb_lines\n"
+    )
+    namespace: Dict[str, object] = {}
+    exec(  # noqa: S102 - source is assembled from validated literals
+        compile(source, f"<blockjit:{key}>", "exec"), namespace
+    )
+    fn = namespace["fused"]
+    _CACHE[key] = fn
+    return fn

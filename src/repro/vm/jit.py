@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa.program import Method
+from repro.isa.program import CondBranch, Goto, Method, Program
+from repro.vm.blockjit import compile_fused_block
 
 
 class OptimizationLevel(enum.IntEnum):
@@ -145,3 +146,183 @@ class JITCompiler:
 
     def exit_stub(self, method_name: str) -> Optional[EntryStub]:
         return self.exit_stubs.get(method_name)
+
+
+# ---------------------------------------------------------------------------
+# Block decode tables (fast-kernel support)
+# ---------------------------------------------------------------------------
+
+#: Terminator kinds in a :class:`DecodedBlock`.
+TERM_RETURN = 0
+TERM_GOTO = 1
+TERM_COND = 2
+
+#: Initial value of :attr:`DecodedBlock.pstate` — distinct from any real
+#: decider state (``None`` could be one).
+PSTATE_UNSET = object()
+
+
+class DecodedBlock:
+    """Pre-decoded execution plan of one basic block.
+
+    Everything the interpreter's hot loop needs from a block —
+    instruction counts, terminator shape, resolved callee ``Method``
+    objects, state-dictionary keys — is immutable once the program is
+    laid out, so the fast kernel decodes each block once and then runs
+    from these flat slots instead of re-deriving them (isinstance checks,
+    dict lookups, ``getattr``) millions of times.
+    """
+
+    __slots__ = (
+        "bid",
+        "method_name",
+        "n_insns",
+        "n_loads",
+        "n_stores",
+        "memory",
+        "gen",
+        "fast_gen",
+        "fused_gen",
+        "serialized",
+        "region_base",
+        "key",
+        "callees",
+        "n_calls",
+        "term_kind",
+        "goto_target",
+        "taken_target",
+        "fallthrough_target",
+        "goto_dec",
+        "taken_dec",
+        "fallthrough_dec",
+        "decider",
+        "persistent",
+        "branch_pc",
+        "block_pc",
+        "iter_count",
+        "pstate",
+    )
+
+    def __init__(self, method: Method, block, program: Program):
+        mix = block.mix
+        memory = block.memory
+        self.bid = block.bid
+        self.method_name = method.name
+        self.n_insns = mix.total
+        self.n_loads = mix.loads
+        self.n_stores = mix.stores
+        self.memory = memory
+        #: ``memory`` when the body actually generates addresses
+        #: (mirrors the reference kernel's ``memory is not None and
+        #: (mix.loads or mix.stores)`` guard), else ``None``.
+        self.gen = (
+            memory
+            if memory is not None and (mix.loads or mix.stores)
+            else None
+        )
+        #: Specialised address generator (see
+        #: ``MemoryBehavior.compile_fast``); falls back to a
+        #: ``generate``-wrapping closure for behaviours without one.
+        #: Codegen'd draw+L1-access closure (see
+        #: :mod:`repro.vm.blockjit`); only usable when no ``on_block``
+        #: hook needs the address lists.  ``None`` for behaviours
+        #: without a fused form.
+        if self.gen is None:
+            self.fast_gen = None
+            self.fused_gen = None
+        else:
+            self.fused_gen = compile_fused_block(
+                self.gen, mix.loads, mix.stores
+            )
+            fast = self.gen.compile_fast(mix.loads, mix.stores)
+            if fast is None:
+                gen, nl, ns = self.gen, mix.loads, mix.stores
+
+                def fast(rng, frame_base, region_base, iteration):
+                    return gen.generate(
+                        rng, frame_base, region_base, iteration, nl, ns
+                    )
+
+            self.fast_gen = fast
+        self.serialized = getattr(memory, "serialized", False)
+        region = method.region
+        self.region_base = region.base if region is not None else 0
+        #: Key into the thread's persistent per-block dictionaries
+        #: (iteration counters, persistent decider state).
+        self.key = (method.name, block.bid)
+        self.callees: Tuple[Method, ...] = tuple(
+            program.methods[site.callee] for site in block.calls
+        )
+        self.n_calls = len(self.callees)
+        term = block.terminator
+        self.goto_target = None
+        self.taken_target = None
+        self.fallthrough_target = None
+        self.decider = None
+        self.persistent = False
+        if isinstance(term, Goto):
+            self.term_kind = TERM_GOTO
+            self.goto_target = term.target
+        elif isinstance(term, CondBranch):
+            self.term_kind = TERM_COND
+            self.taken_target = term.taken
+            self.fallthrough_target = term.fallthrough
+            self.decider = term.decider
+            self.persistent = term.decider.persistent
+        else:
+            self.term_kind = TERM_RETURN
+        self.branch_pc = block.branch_pc
+        self.block_pc = block.branch_pc or 0
+        #: Direct links to successor DecodedBlocks (resolved by
+        #: :meth:`BlockDecoder.table` once the whole method is decoded) so
+        #: the fused single-thread runner chains blocks without per-step
+        #: table lookups.
+        self.goto_dec = None
+        self.taken_dec = None
+        self.fallthrough_dec = None
+        #: Per-run mutable state used only by the fused single-thread
+        #: runner (one thread, decoder owned by one VM): the block's
+        #: iteration counter and its persistent decider state.  The
+        #: general runner keeps these in the per-thread dictionaries,
+        #: exactly like the reference kernel.
+        self.iter_count = 0
+        self.pstate = PSTATE_UNSET
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedBlock({self.method_name}:{self.bid}, "
+            f"insns={self.n_insns}, term={self.term_kind})"
+        )
+
+
+class BlockDecoder:
+    """Per-program cache of :class:`DecodedBlock` tables.
+
+    ``tables`` maps method name to a ``{bid: DecodedBlock}`` dict;
+    methods are decoded lazily on first execution so cold methods cost
+    nothing.  Decoding requires the program to be laid out (branch PCs
+    assigned), which the VM already guarantees.
+    """
+
+    __slots__ = ("program", "tables")
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.tables: Dict[str, Dict[str, DecodedBlock]] = {}
+
+    def table(self, method: Method) -> Dict[str, DecodedBlock]:
+        table = self.tables.get(method.name)
+        if table is None:
+            program = self.program
+            table = {
+                bid: DecodedBlock(method, block, program)
+                for bid, block in method.blocks.items()
+            }
+            for dec in table.values():
+                if dec.term_kind == TERM_GOTO:
+                    dec.goto_dec = table[dec.goto_target]
+                elif dec.term_kind == TERM_COND:
+                    dec.taken_dec = table[dec.taken_target]
+                    dec.fallthrough_dec = table[dec.fallthrough_target]
+            self.tables[method.name] = table
+        return table

@@ -284,6 +284,12 @@ def benchmark_spec(name: str) -> BenchmarkSpec:
         ) from None
 
 
+def benchmark_names() -> Tuple[str, ...]:
+    """All stand-in benchmark names, sorted (the full-suite iteration
+    order used by sweeps, the equivalence grid, and the bench tool)."""
+    return tuple(sorted(_SPECS))
+
+
 # ---------------------------------------------------------------------------
 # Generator
 # ---------------------------------------------------------------------------

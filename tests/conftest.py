@@ -106,6 +106,24 @@ def make_two_tier_program(
     return builder.build()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite tests/golden/*.json from the current simulation "
+            "instead of comparing against it (then commit the diff)."
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden-trace fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def loop_program() -> Program:
     return make_loop_program()

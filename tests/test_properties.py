@@ -16,7 +16,15 @@ from repro.phases.bbv import BBVAccumulator, manhattan_distance, normalize
 from repro.trace.stream import IntervalSplitter
 from repro.uarch.cache import Cache
 from repro.uarch.registers import ReconfigurationGuard
-from repro.workloads.patterns import MixedBehavior, StackBehavior
+from repro.vm.blockjit import compile_fused_block
+from repro.workloads.patterns import (
+    MixedBehavior,
+    PointerChaseBehavior,
+    StackBehavior,
+    StridedBehavior,
+    WanderingWindowBehavior,
+    WorkingSetBehavior,
+)
 from repro.workloads.synthetic import random_program
 
 KB = 1024
@@ -276,3 +284,160 @@ class TestWorkloadProperties:
                 assert run <= trips - 1
             else:
                 run = 0
+
+
+# ---------------------------------------------------------------------------
+# Kernel-facing invariants (reference vs fast simulation paths)
+# ---------------------------------------------------------------------------
+
+#: Sentinel passed to fused closures, like the fast kernel does.
+_MISSING = object()
+
+#: Every fusable behaviour family, with parameter ranges wide enough to
+#: hit unrolled and looped emission, multi-set caches, and wrap-around
+#: arithmetic (Strided/WanderingWindow offsets).
+fusable_behaviors = st.one_of(
+    st.builds(StackBehavior, st.integers(min_value=16, max_value=4096)),
+    st.builds(
+        WorkingSetBehavior,
+        st.integers(min_value=64, max_value=8192),
+        st.floats(min_value=0.05, max_value=0.95),
+    ),
+    st.builds(PointerChaseBehavior, st.integers(min_value=16, max_value=4096)),
+    st.builds(
+        StridedBehavior,
+        st.integers(min_value=64, max_value=4096),
+        st.sampled_from([4, 8, 16, 64]),
+    ),
+    st.builds(
+        WanderingWindowBehavior,
+        st.integers(min_value=64, max_value=1024),
+        st.integers(min_value=2048, max_value=16384),
+        st.integers(min_value=16, max_value=512),
+    ),
+)
+
+
+class TestFusedClosureLockstep:
+    """The codegen'd fused closures (fast kernel) against the readable
+    ``generate`` + ``access_many`` pair (reference kernel), in lockstep:
+    same RNG consumption, same cache state, same traffic."""
+
+    @given(
+        behavior=fusable_behaviors,
+        n_loads=st.integers(min_value=0, max_value=24),
+        n_stores=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=10**6),
+        iteration=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_fused_closure_matches_reference_pair(
+        self, behavior, n_loads, n_stores, seed, iteration
+    ):
+        fused = compile_fused_block(behavior, n_loads, n_stores)
+        assert fused is not None
+        ref_cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        fast_cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        ref_rng = random.Random(seed)
+        fast_rng = random.Random(seed)
+        frame_base, region_base = 0x1000_0000, 0x2000_0000
+        loads, stores = behavior.generate(
+            ref_rng, frame_base, region_base, iteration, n_loads, n_stores
+        )
+        result = ref_cache.access_many(loads, stores)
+        read_misses, write_misses, miss_lines, wb_lines = fused(
+            fast_rng, frame_base, region_base, iteration, fast_cache, _MISSING
+        )
+        # Identical RNG stream consumption...
+        assert fast_rng.getstate() == ref_rng.getstate()
+        # ...identical traffic (None means "empty" in the fused ABI)...
+        assert (read_misses, write_misses) == (
+            result.read_misses, result.write_misses
+        )
+        assert (miss_lines or []) == result.miss_lines
+        assert (wb_lines or []) == result.writeback_lines
+        # ...and identical cache state, dirty bits and LRU order included
+        # (dict order is insertion order, which *is* the LRU order here).
+        assert list(fast_cache._sets[0].items()) == list(
+            ref_cache._sets[0].items()
+        )
+        assert fast_cache._sets == ref_cache._sets
+
+    @given(behavior=fusable_behaviors)
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_behavior_never_fuses(self, behavior):
+        mixed = MixedBehavior([(behavior, 1.0), (StackBehavior(), 1.0)])
+        assert compile_fused_block(mixed, 4, 2) is None
+
+
+class TestCacheInvariantsUnderKernelPaths:
+    """ISSUE invariants (misses <= accesses, snapshot monotonicity,
+    resize preserves access totals) exercised through *both* batched
+    entry points the kernels use."""
+
+    @staticmethod
+    def _drive(cache, loads, stores, path):
+        if path == "access_many":
+            cache.access_many(loads, stores)
+        else:
+            cache.access_block(loads, stores)
+
+    @given(
+        loads=addresses,
+        stores=addresses,
+        path=st.sampled_from(["access_many", "access_block"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_misses_never_exceed_accesses(self, loads, stores, path):
+        cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        self._drive(cache, loads, stores, path)
+        stats = cache.stats
+        assert stats.misses <= stats.accesses
+        assert stats.read_misses <= stats.read_accesses
+        assert stats.write_misses <= stats.write_accesses
+
+    @given(
+        batches=st.lists(
+            st.tuples(addresses, addresses), min_size=1, max_size=8
+        ),
+        path=st.sampled_from(["access_many", "access_block"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_monotonicity(self, batches, path):
+        cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        previous = cache.stats.snapshot()
+        for loads, stores in batches:
+            self._drive(cache, loads, stores, path)
+            current = cache.stats.snapshot()
+            assert all(b >= a for a, b in zip(previous, current))
+            previous = current
+
+    @given(
+        loads=addresses,
+        stores=addresses,
+        size=st.sampled_from([4 * KB, 2 * KB, 1 * KB]),
+        policy=st.sampled_from(["selective", "flush"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resize_preserves_access_totals(self, loads, stores, size, policy):
+        cache = Cache(
+            "c", 8 * KB, 64, 2,
+            sizes=(8 * KB, 4 * KB, 2 * KB, 1 * KB),
+            resize_policy=policy,
+        )
+        cache.access_many(loads, stores)
+        before = (
+            cache.stats.read_accesses,
+            cache.stats.read_misses,
+            cache.stats.write_accesses,
+            cache.stats.write_misses,
+        )
+        cache.resize(size)
+        after = (
+            cache.stats.read_accesses,
+            cache.stats.read_misses,
+            cache.stats.write_accesses,
+            cache.stats.write_misses,
+        )
+        assert after == before
+        assert cache.resident_lines <= cache.n_lines

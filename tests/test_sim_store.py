@@ -217,6 +217,8 @@ def mutated_leaf(value):
             "edp": "energy",
             "selective": "flush",
             "flush": "selective",
+            "fast": "reference",
+            "reference": "fast",
         }
         return swaps.get(value, value + "x")
     if isinstance(value, tuple):
@@ -282,6 +284,22 @@ class TestFingerprint:
                 leaf = getattr(leaf, name)
             mutated = replaced(base, path, mutated_leaf(leaf))
             assert mutated.fingerprint() != base.fingerprint(), path
+
+    def test_sim_kernel_participates_in_the_fingerprint(self):
+        """Regression for the fast-kernel rollout: results computed by
+        the two kernels are bit-identical, but they must still never
+        collide in the persistent store — a divergence bug found later
+        would otherwise let one kernel serve the other's cached cells."""
+        fast = ExperimentConfig(sim_kernel="fast")
+        reference = ExperimentConfig(sim_kernel="reference")
+        assert fast.fingerprint() != reference.fingerprint()
+        # The kernel choice does not affect *cacheability* — both are
+        # deterministic simulations fully described by their config.
+        assert RunSpec("db", "baseline", fast).cacheable
+        assert RunSpec("db", "baseline", reference).cacheable
+        assert RunSpec("db", "baseline", fast).cache_key() != (
+            RunSpec("db", "baseline", reference).cache_key()
+        )
 
     def test_effective_fingerprint_folds_budget_override(self):
         config = ExperimentConfig(max_instructions=100_000)

@@ -1,0 +1,324 @@
+#!/usr/bin/env python
+"""Perf-regression benchmark suite for the simulation kernels.
+
+Times representative cells and writes a ``BENCH_<date>.json`` snapshot:
+
+* ``kernel:<benchmark>/<scheme>`` — one full simulation under the
+  reference kernel and under the fast kernel, interleaved min-of-N (both
+  kernels are timed back to back inside each repetition, so machine
+  noise hits both alike).  The heaviest cells run at double budget —
+  these are the numbers the fast-kernel default is gated on.
+* ``engine:cold`` — a suite batch (benchmarks x 3 schemes) against an
+  empty persistent store (every cell simulates);
+* ``engine:warm`` — the same batch again on the populated store (every
+  cell is a store hit; measures the cache read path);
+* ``engine:jobs2`` — the same batch, fresh store, two worker processes.
+
+The compared statistic is CPU time (``time.process_time``) — wall time
+is recorded for context but shared machines make it the noisier of the
+two.  ``--check --baseline BENCH_x.json`` exits non-zero when the fast
+kernel's speedup collapses against the committed baseline (tolerance is
+deliberately loose: this is a smoke gate against "someone pessimised the
+fast path", not a microbenchmark).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                 # full run
+    PYTHONPATH=src python tools/bench.py --quick         # CI smoke sizes
+    PYTHONPATH=src python tools/bench.py --quick --check --baseline BENCH_2026-08-06.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import gc
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec, execute
+from repro.sim.engine import Engine
+from repro.sim.experiment import run_suite
+from repro.sim.store import ResultStore
+
+SCHEMA = 1
+
+#: (benchmark, scheme, heavy) — ``heavy`` cells run at 2x budget; they
+#: are the suite's dominant cost and the speedup gate's subject.
+KERNEL_CELLS = (
+    ("db", "baseline", True),
+    ("jack", "baseline", True),
+    ("db", "bbv", False),
+    ("db", "hotspot", False),
+    ("mtrt", "hotspot", False),
+)
+
+#: Suite subset for the engine cells (x 3 schemes each).
+ENGINE_BENCHMARKS = ("db", "jess")
+
+#: --check tolerances.  A fast-kernel speedup may wobble with machine
+#: load; it must stay above an absolute floor and above a fraction of
+#: the committed baseline.
+SPEEDUP_ABS_FLOOR = 1.25
+SPEEDUP_REL_TOLERANCE = 0.5
+#: The warm engine pass serves every cell from the store; it must beat
+#: the cold pass outright.
+WARM_COLD_FACTOR = 0.9
+
+
+def _time_once(fn: Callable[[], object]) -> Dict[str, float]:
+    gc.collect()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    fn()
+    return {
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+    }
+
+
+def _merge_min(best: Optional[Dict[str, float]], sample: Dict[str, float]):
+    if best is None:
+        return dict(sample)
+    return {key: min(best[key], sample[key]) for key in best}
+
+
+def bench_kernel_cell(
+    benchmark: str, scheme: str, budget: int, repeats: int
+) -> Dict[str, object]:
+    """Interleaved min-of-N timing of one cell under both kernels."""
+    timings: Dict[str, Optional[Dict[str, float]]] = {
+        "reference": None, "fast": None,
+    }
+    for _ in range(repeats):
+        for kernel in ("reference", "fast"):
+            spec = RunSpec(
+                benchmark, scheme,
+                ExperimentConfig(
+                    max_instructions=budget, sim_kernel=kernel
+                ),
+            )
+            sample = _time_once(lambda spec=spec: execute(spec))
+            timings[kernel] = _merge_min(timings[kernel], sample)
+    reference, fast = timings["reference"], timings["fast"]
+    return {
+        "budget": budget,
+        "repeats": repeats,
+        "reference": reference,
+        "fast": fast,
+        "speedup_wall": reference["wall_s"] / fast["wall_s"],
+        "speedup_cpu": reference["cpu_s"] / fast["cpu_s"],
+    }
+
+
+def bench_engine_cells(budget: int, repeats: int) -> Dict[str, object]:
+    """Cold store / warm store / jobs=2 suite batches (fast kernel)."""
+    config = ExperimentConfig(max_instructions=budget)
+    cells: Dict[str, Optional[Dict[str, float]]] = {
+        "engine:cold": None, "engine:warm": None, "engine:jobs2": None,
+    }
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+            store = ResultStore(Path(tmp))
+
+            def cold():
+                run_suite(
+                    ENGINE_BENCHMARKS, config,
+                    engine=Engine(store=store, memory_cache={}),
+                )
+
+            def warm():
+                run_suite(
+                    ENGINE_BENCHMARKS, config,
+                    engine=Engine(store=store, memory_cache={}),
+                )
+
+            cells["engine:cold"] = _merge_min(
+                cells["engine:cold"], _time_once(cold)
+            )
+            cells["engine:warm"] = _merge_min(
+                cells["engine:warm"], _time_once(warm)
+            )
+        with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+            store2 = ResultStore(Path(tmp))
+
+            def jobs2():
+                run_suite(
+                    ENGINE_BENCHMARKS, config,
+                    engine=Engine(jobs=2, store=store2, memory_cache={}),
+                )
+
+            cells["engine:jobs2"] = _merge_min(
+                cells["engine:jobs2"], _time_once(jobs2)
+            )
+    n_cells = len(ENGINE_BENCHMARKS) * 3
+    return {
+        name: dict(timing, budget=budget, cells=n_cells)
+        for name, timing in cells.items()
+    }
+
+
+def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
+    cells: Dict[str, object] = {}
+    for benchmark, scheme, heavy in KERNEL_CELLS:
+        cell_budget = budget * 2 if heavy else budget
+        name = f"kernel:{benchmark}/{scheme}"
+        print(f"  {name} @{cell_budget} ...", flush=True)
+        cells[name] = bench_kernel_cell(
+            benchmark, scheme, cell_budget, repeats
+        )
+        entry = cells[name]
+        print(
+            f"    ref cpu={entry['reference']['cpu_s']:.3f}s "
+            f"fast cpu={entry['fast']['cpu_s']:.3f}s "
+            f"speedup={entry['speedup_cpu']:.2f}x"
+        )
+    print("  engine cells ...", flush=True)
+    cells.update(bench_engine_cells(budget // 4, max(1, repeats - 3)))
+
+    kernel_entries = {
+        name: entry for name, entry in cells.items()
+        if name.startswith("kernel:")
+    }
+    heavy_names = [
+        f"kernel:{b}/{s}" for b, s, heavy in KERNEL_CELLS if heavy
+    ]
+    summary = {
+        "min_kernel_speedup_cpu": min(
+            e["speedup_cpu"] for e in kernel_entries.values()
+        ),
+        "max_kernel_speedup_cpu": max(
+            e["speedup_cpu"] for e in kernel_entries.values()
+        ),
+        "heaviest_cells": {
+            name: cells[name]["speedup_cpu"] for name in heavy_names
+        },
+    }
+    return {
+        "schema": SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "mode": mode,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "budget": budget,
+        "repeats": repeats,
+        "cells": cells,
+        "summary": summary,
+    }
+
+
+def check_against_baseline(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> int:
+    """Regression gate; returns the number of failures (0 = pass)."""
+    failures = 0
+    base_cells = baseline.get("cells", {})
+    for name, entry in current["cells"].items():
+        if not name.startswith("kernel:"):
+            continue
+        speedup = entry["speedup_cpu"]
+        base = base_cells.get(name)
+        required = SPEEDUP_ABS_FLOOR
+        if base is not None:
+            required = max(
+                required, base["speedup_cpu"] * SPEEDUP_REL_TOLERANCE
+            )
+        status = "ok" if speedup >= required else "REGRESSION"
+        print(
+            f"  {name}: speedup_cpu={speedup:.2f}x "
+            f"(required >= {required:.2f}x) {status}"
+        )
+        if speedup < required:
+            failures += 1
+    cold = current["cells"].get("engine:cold")
+    warm = current["cells"].get("engine:warm")
+    if cold and warm:
+        limit = cold["cpu_s"] * WARM_COLD_FACTOR
+        status = "ok" if warm["cpu_s"] <= limit else "REGRESSION"
+        print(
+            f"  engine:warm cpu={warm['cpu_s']:.3f}s "
+            f"(required <= {limit:.3f}s, cold={cold['cpu_s']:.3f}s) {status}"
+        )
+        if warm["cpu_s"] > limit:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes (300k-instruction cells, 2 repetitions)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="instruction budget per kernel cell (heavy cells run 2x)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per cell (minimum is reported)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when speedups regress against --baseline",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed BENCH_*.json to compare against in --check mode",
+    )
+    args = parser.parse_args(argv)
+
+    budget = args.budget or (300_000 if args.quick else 2_000_000)
+    repeats = args.repeats or (2 if args.quick else 5)
+    mode = "quick" if args.quick else "full"
+
+    print(f"bench: mode={mode} budget={budget} repeats={repeats}")
+    payload = run_bench(budget, repeats, mode)
+
+    output = args.output or Path(
+        __file__
+    ).resolve().parent.parent / f"BENCH_{payload['date']}.json"
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    summary = payload["summary"]
+    print(
+        "kernel speedups (cpu): "
+        f"min={summary['min_kernel_speedup_cpu']:.2f}x "
+        f"max={summary['max_kernel_speedup_cpu']:.2f}x; heaviest: "
+        + ", ".join(
+            f"{name.split(':', 1)[1]}={ratio:.2f}x"
+            for name, ratio in summary["heaviest_cells"].items()
+        )
+    )
+
+    if args.check:
+        if args.baseline is None or not args.baseline.exists():
+            print(
+                "check: no baseline given/found — recording only "
+                "(first run is the baseline)",
+            )
+            return 0
+        baseline = json.loads(args.baseline.read_text())
+        print(f"check: against {args.baseline}")
+        failures = check_against_baseline(payload, baseline)
+        if failures:
+            print(f"check: {failures} regression(s)")
+            return 1
+        print("check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
