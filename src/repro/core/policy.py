@@ -135,6 +135,10 @@ class HotspotACEPolicy(AdaptationHooks):
 
     name = "hotspot"
 
+    #: ``on_block`` only consumes ``n_insns``/``thread_id`` — the fast
+    #: kernel may keep its fused path and pass empty address lists.
+    on_block_reads_addresses = False
+
     def __init__(
         self,
         tuning: Optional[TuningConfig] = None,
@@ -219,6 +223,13 @@ class HotspotACEPolicy(AdaptationHooks):
         for cu_name, depths in self._cov_depth.items():
             if depths[tid] > 0:
                 self.covered_insns[cu_name] += n
+
+    def on_block_counts(self, n_insns, block_pc, thread_id, machine) -> None:
+        # Must mirror on_block exactly (see AdaptationHooks.on_block_counts).
+        self.total_insns += n_insns
+        for cu_name, depths in self._cov_depth.items():
+            if depths[thread_id] > 0:
+                self.covered_insns[cu_name] += n_insns
 
     # -- hotspot detection -------------------------------------------------------
 

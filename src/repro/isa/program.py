@@ -55,6 +55,13 @@ class MemoryBehavior(abc.ABC):
     state, so whole runs replay bit-identically from a seed.
     """
 
+    #: True when ``generate`` depends on the per-block ``iteration``
+    #: counter (streaming/windowed patterns).  Purely random patterns
+    #: override this with False, which lets the fast kernel skip the
+    #: counter's per-execution maintenance entirely — the value it
+    #: would have passed is unobservable.
+    uses_iteration = True
+
     @abc.abstractmethod
     def generate(
         self,

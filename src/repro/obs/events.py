@@ -59,6 +59,10 @@ WORKER_CRASH = "worker_crash"
 CELL_FAILED = "cell_failed"
 BATCH_DEGRADED = "batch_degraded"
 TIMEOUT_DISABLED = "timeout_disabled"
+# Wall-clock pool-lifecycle events (persistent worker pools):
+POOL_SPAWNED = "pool_spawned"
+POOL_REUSED = "pool_reused"
+WORKER_WARMUP = "worker_warmup"
 
 #: The complete vocabulary, in rough lifecycle order (used by summaries).
 EVENT_TYPES: Tuple[str, ...] = (
@@ -84,6 +88,9 @@ EVENT_TYPES: Tuple[str, ...] = (
     CELL_FAILED,
     BATCH_DEGRADED,
     TIMEOUT_DISABLED,
+    POOL_SPAWNED,
+    POOL_REUSED,
+    WORKER_WARMUP,
 )
 
 #: Events stamped with wall time; everything else uses simulated time.
@@ -99,6 +106,9 @@ WALL_CLOCK_EVENTS = frozenset(
         CELL_FAILED,
         BATCH_DEGRADED,
         TIMEOUT_DISABLED,
+        POOL_SPAWNED,
+        POOL_REUSED,
+        WORKER_WARMUP,
     )
 )
 

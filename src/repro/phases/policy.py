@@ -91,6 +91,10 @@ class BBVACEPolicy(AdaptationHooks):
 
     name = "bbv"
 
+    #: ``on_block`` only consumes ``n_insns``/``block_pc`` — the fast
+    #: kernel may keep its fused path and pass empty address lists.
+    on_block_reads_addresses = False
+
     def __init__(
         self,
         bbv: Optional[BBVConfig] = None,
@@ -189,6 +193,15 @@ class BBVACEPolicy(AdaptationHooks):
             for cu_name in self.cu_names:
                 self.covered_insns[cu_name] += n
         self._splitter.advance(n)
+
+    def on_block_counts(self, n_insns, block_pc, thread_id, machine) -> None:
+        # Must mirror on_block exactly (see AdaptationHooks.on_block_counts).
+        self.total_insns += n_insns
+        self.accumulator.observe(block_pc, n_insns)
+        if self._mode == "best":
+            for cu_name in self.cu_names:
+                self.covered_insns[cu_name] += n_insns
+        self._splitter.advance(n_insns)
 
     # -- interval boundary ------------------------------------------------------
 

@@ -280,6 +280,14 @@ def execute(spec: RunSpec, telemetry=None, fault_plan=None) -> RunResult:
     )
     vm.run(max_instructions or config.max_instructions)
 
+    if telemetry is not None:
+        # Mirror the process-wide blockjit code-cache counters (compiles,
+        # hits, evictions, size) into the session's metrics registry so a
+        # traced run shows whether it ran warm or had to re-fuse.
+        from repro.vm.blockjit import publish_metrics
+
+        publish_metrics(telemetry.metrics)
+
     hotspot_stats = (
         policy.finalize() if isinstance(policy, HotspotACEPolicy) else None
     )

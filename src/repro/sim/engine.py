@@ -19,6 +19,19 @@ Results are deterministic: a cell's outcome depends only on its
 :class:`~repro.sim.driver.RunSpec`, never on scheduling, so the parallel
 path is bit-identical to the serial one.
 
+The process pool is **persistent and warm** (docs/INTERNALS.md §13):
+the first parallel batch spawns it with an initializer that pre-builds
+the batch's benchmarks and pre-decodes their programs — compiling every
+fused block closure into the worker's process-wide blockjit code cache
+before the first cell arrives — and later batches on the same engine
+reuse the live workers (``pool_reused`` telemetry) instead of paying
+spawn + warm-up again.  Cells are submitted in **chunks**: one pickled
+payload carries several cells plus the shared timeout/fault-plan, and
+workers memoise built benchmarks by name, so a 3-scheme sweep builds
+each benchmark once per worker rather than once per cell.  Call
+:meth:`Engine.close` (or use the engine as a context manager) to shut
+the pool down; a dropped engine cleans up in ``__del__``.
+
 Graceful degradation (docs/INTERNALS.md §11): ``failure_policy``
 selects what a cell that exhausts its retry budget does to the batch —
 ``"raise"`` (default, legacy) aborts with :class:`CellExecutionError`,
@@ -39,6 +52,8 @@ parent process — they are not guaranteed picklable and are never cached.
 
 from __future__ import annotations
 
+import math
+import pickle
 import random
 import signal
 import threading
@@ -64,11 +79,14 @@ from repro.obs.events import (
     CELL_START,
     MEMORY_HIT,
     NULL_TELEMETRY,
+    POOL_REUSED,
+    POOL_SPAWNED,
     RETRY,
     STORE_HIT,
     TIMEOUT,
     TIMEOUT_DISABLED,
     WORKER_CRASH,
+    WORKER_WARMUP,
 )
 from repro.sim.driver import RunResult, RunSpec, execute
 from repro.sim.store import ResultStore
@@ -211,6 +229,8 @@ class EngineStats:
     failures: int = 0
     worker_crashes: int = 0
     pool_rebuilds: int = 0
+    pools_spawned: int = 0
+    pool_reuses: int = 0
     #: Cells that requested a timeout the engine could not arm (SIGALRM
     #: needs the main thread) and therefore ran unbounded.
     timeouts_unarmed: int = 0
@@ -291,21 +311,119 @@ def _inject_cell_faults(
         )
 
 
-def _pool_worker(
-    payload: Tuple[RunSpec, Optional[float], Optional[FaultPlan], int]
-) -> RunResult:
-    """Top-level worker entry (must be importable for pickling)."""
-    spec, timeout, plan, attempt = payload
-    if plan is not None and plan.decide(
-        "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
-    ):
-        # Hard exit without cleanup: the parent observes BrokenProcessPool,
-        # exactly like a segfaulting or OOM-killed worker.
-        import os
+# -- worker-process side ------------------------------------------------------
+#
+# Module globals below are per worker process (each worker gets its own
+# module state, whether forked or spawned); the parent never touches them.
 
-        os._exit(17)
-    _inject_cell_faults(plan, spec, attempt)
-    return _run_with_alarm(spec, timeout, fault_plan=plan)
+#: Built benchmarks memoised by name.  Safe to reuse across cells: a run
+#: never mutates a ``BuiltBenchmark`` — the kernels decode programs into
+#: per-VM tables and all run state lives in the VM/machine objects.
+_WORKER_BENCHES: Dict[str, object] = {}
+
+#: Warm-start statistics recorded by :func:`_pool_initializer`, shipped
+#: to the parent with the first chunk this worker completes, then cleared.
+_WORKER_WARMUP: Optional[Dict[str, object]] = None
+
+
+def _worker_built(benchmark):
+    """Worker-side memoised ``build_benchmark`` (str names only)."""
+    if not isinstance(benchmark, str):
+        return benchmark
+    built = _WORKER_BENCHES.get(benchmark)
+    if built is None:
+        from repro.workloads.specjvm import build_benchmark
+
+        built = _WORKER_BENCHES[benchmark] = build_benchmark(benchmark)
+    return built
+
+
+def _pool_initializer(benchmarks: Tuple[str, ...]) -> None:
+    """Warm one worker before it serves cells.
+
+    Pre-builds the batch's benchmarks and pre-decodes every program, which
+    compiles all fused block closures into this process's blockjit code
+    cache — so the first real cell starts simulating immediately instead
+    of paying program generation + codegen.  Best-effort by design: a
+    failure here must not poison the pool (the cell itself will rebuild
+    and surface the real error through the retry machinery).
+    """
+    global _WORKER_WARMUP
+    from repro.vm import blockjit
+    from repro.vm.jit import BlockDecoder
+
+    started = time.perf_counter()
+    compiles_before = blockjit.CACHE_STATS["compiles"]
+    stats: Dict[str, object] = {"benchmarks": 0, "blocks": 0, "errors": 0}
+    for name in benchmarks:
+        try:
+            built = _worker_built(name)
+            decoder = BlockDecoder(built.program)
+            for method in built.program.methods.values():
+                stats["blocks"] += len(decoder.table(method))
+            stats["benchmarks"] += 1
+        except Exception:
+            stats["errors"] += 1
+    stats["fused_compiles"] = (
+        blockjit.CACHE_STATS["compiles"] - compiles_before
+    )
+    stats["warm_s"] = round(time.perf_counter() - started, 6)
+    _WORKER_WARMUP = stats
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """The error itself if it survives pickling, else a repr stand-in.
+
+    Chunk outcomes travel back to the parent in one pickled payload; one
+    unpicklable exception must degrade to a readable substitute instead
+    of taking the whole chunk's results down with it.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(repr(error))
+
+
+def _pool_worker_chunk(
+    payload: Tuple[
+        Tuple[Tuple[int, RunSpec, int], ...],
+        Optional[float],
+        Optional[FaultPlan],
+    ]
+) -> Tuple[Optional[Dict[str, object]], List[Tuple[int, str, object]]]:
+    """Top-level chunk entry (must be importable for pickling).
+
+    ``payload`` is ``(cells, timeout, plan)`` with ``cells`` a tuple of
+    ``(index, spec, attempt)`` — the timeout and the fault plan are
+    pickled once per chunk instead of once per cell.  Returns
+    ``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
+    or ``(index, "error", error)``; per-cell failures are *returned*, not
+    raised, so one bad cell cannot discard its chunk-mates' finished
+    work.  A worker-crash injection still hard-exits the process, so the
+    parent observes ``BrokenProcessPool`` exactly like a segfaulting or
+    OOM-killed worker.
+    """
+    global _WORKER_WARMUP
+    cells, timeout, plan = payload
+    outcomes: List[Tuple[int, str, object]] = []
+    for index, spec, attempt in cells:
+        if plan is not None and plan.decide(
+            "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
+        ):
+            import os
+
+            os._exit(17)
+        try:
+            _inject_cell_faults(plan, spec, attempt)
+            spec.benchmark = _worker_built(spec.benchmark)
+            outcomes.append(
+                (index, "ok", _run_with_alarm(spec, timeout, fault_plan=plan))
+            )
+        except Exception as error:  # noqa: BLE001 — parent retries
+            outcomes.append((index, "error", _picklable(error)))
+    warmup, _WORKER_WARMUP = _WORKER_WARMUP, None
+    return warmup, outcomes
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor, fail_fast: bool) -> None:
@@ -391,6 +509,18 @@ class Engine:
         workers run in other processes, so their simulation events are
         not captured — trace a single cell with ``jobs=1`` for the full
         timeline.
+    chunk_size:
+        Cells per pool submission.  ``None`` (default) picks
+        ``ceil(cells / (jobs * 4))`` capped at 8 — enough chunks to keep
+        every worker busy for several rounds while amortising pickling,
+        without collapsing the crash-retry granularity of small batches.
+        Retries are always resubmitted as single-cell chunks.
+    warm_start:
+        When True (default), the pool initializer pre-builds the first
+        batch's benchmarks and pre-decodes their programs in every
+        worker (see docs/INTERNALS.md §13); the warm-up is reported via
+        ``worker_warmup`` telemetry events.  Later batches reuse the
+        live pool and the workers' memoised benchmarks.
     """
 
     def __init__(
@@ -408,6 +538,8 @@ class Engine:
         runner: Optional[Callable[[RunSpec], RunResult]] = None,
         memory_cache: Optional[Dict] = None,
         telemetry=None,
+        chunk_size: Optional[int] = None,
+        warm_start: bool = True,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -429,8 +561,15 @@ class Engine:
             _MEMORY_CACHE if memory_cache is None else memory_cache
         )
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.chunk_size = (
+            None if chunk_size is None else max(1, int(chunk_size))
+        )
+        self.warm_start = bool(warm_start)
         self.stats = EngineStats()
         self._unarmed_warned = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_warmed: Tuple[str, ...] = ()
+        self._store_pending: List[Tuple[Tuple[str, str, str], RunResult]] = []
 
     # -- public API --------------------------------------------------------
 
@@ -476,7 +615,10 @@ class Engine:
             pending.append(index)
 
         if pending:
-            self._execute_pending(specs, pending, results)
+            try:
+                self._execute_pending(specs, pending, results)
+            finally:
+                self._flush_store()
         for leader, dupes in followers.items():
             source = self._outcomes[leader]
             for index in dupes:
@@ -516,6 +658,26 @@ class Engine:
     def run_one(self, spec: RunSpec) -> RunResult:
         """Single-cell convenience wrapper around :meth:`run`."""
         return self.run([spec])[0]
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        Waits for idle shutdown; the engine stays usable — the next
+        parallel batch simply spawns (and re-warms) a fresh pool.
+        """
+        self._discard_pool(fail_fast=False)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC timing
+        try:
+            self._discard_pool(fail_fast=True)
+        except Exception:
+            pass
 
     # -- cache layers ------------------------------------------------------
 
@@ -564,10 +726,28 @@ class Engine:
         key = spec.cache_key()
         self._memory[key] = result
         if self.store is not None:
-            path = self.store.put(*key, result)
-            plan = self.fault_plan
-            if plan is not None and plan.decide("store_corrupt", key):
-                corrupt_file(path)
+            # The memory-cache write above serves intra-batch duplicates;
+            # the disk write is deferred and flushed once per batch.
+            self._store_pending.append((key, result))
+
+    def _flush_store(self) -> None:
+        """Batch-write this batch's simulated results to the store.
+
+        One :meth:`ResultStore.put_many` pass instead of a put per cell;
+        runs in a ``finally`` so results completed before a mid-batch
+        failure are still persisted (the pre-batching contract).
+        """
+        pending, self._store_pending = self._store_pending, []
+        if self.store is None or not pending:
+            return
+        paths = self.store.put_many(
+            (key[0], key[1], key[2], result) for key, result in pending
+        )
+        plan = self.fault_plan
+        if plan is not None:
+            for (key, _), path in zip(pending, paths):
+                if plan.decide("store_corrupt", key):
+                    corrupt_file(path)
 
     def _notify(self, spec: RunSpec, source: str) -> None:
         self._done += 1
@@ -829,6 +1009,52 @@ class Engine:
             survivors.append(index)
         return survivors
 
+    def _ensure_pool(
+        self, specs: Sequence[RunSpec], indices: List[int]
+    ) -> ProcessPoolExecutor:
+        """The live persistent pool, spawning (and warming) one if needed."""
+        telemetry = self.telemetry
+        if self._pool is not None:
+            self.stats.pool_reuses += 1
+            telemetry.emit_wall(
+                POOL_REUSED, jobs=self.jobs, warmed=list(self._pool_warmed)
+            )
+            telemetry.metrics.counter("engine.pool_reuses").inc()
+            return self._pool
+        warm: Dict[str, None] = {}
+        if self.warm_start:
+            for index in indices:
+                warm.setdefault(specs[index].benchmark_name, None)
+        self._pool_warmed = tuple(warm)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_pool_initializer,
+            initargs=(self._pool_warmed,),
+        )
+        self.stats.pools_spawned += 1
+        telemetry.emit_wall(
+            POOL_SPAWNED, jobs=self.jobs, warmed=list(self._pool_warmed)
+        )
+        telemetry.metrics.counter("engine.pools_spawned").inc()
+        return self._pool
+
+    def _discard_pool(self, fail_fast: bool) -> None:
+        """Drop the persistent pool (crash recovery, close, teardown)."""
+        pool, self._pool = self._pool, None
+        self._pool_warmed = ()
+        if pool is not None:
+            _shutdown_pool(pool, fail_fast)
+
+    def _chunks(self, indices: List[int]) -> List[List[int]]:
+        """Deterministic chunk partition of one round's submissions."""
+        size = self.chunk_size
+        if size is None:
+            size = min(8, max(1, math.ceil(len(indices) / (self.jobs * 4))))
+        return [
+            indices[start:start + size]
+            for start in range(0, len(indices), size)
+        ]
+
     def _pool_round(
         self,
         specs: Sequence[RunSpec],
@@ -838,112 +1064,142 @@ class Engine:
         lanes: Dict[int, int],
         submitted_at: Dict[int, float],
     ) -> None:
-        """One pool lifetime; raises :class:`_PoolBroken` on worker death."""
+        """One round against the persistent pool; raises
+        :class:`_PoolBroken` on worker death.
+
+        Cells go out in chunks (shared timeout/plan payload, per-cell
+        outcomes back); retries are resubmitted as single-cell chunks so
+        a flaky cell cannot hold healthy chunk-mates hostage.  Any
+        failure path discards the persistent pool — it may hold in-flight
+        work of a poisoned batch and must not leak into the next one.
+        """
         telemetry = self.telemetry
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._ensure_pool(specs, indices)
         futures: Dict = {}
-        fail_fast = True
         try:
 
-            def _submit(index: int) -> None:
-                attempts[index] += 1
-                lanes.setdefault(index, self._submissions % self.jobs)
+            def _submit(chunk: List[int]) -> None:
+                lane = self._submissions % self.jobs
                 self._submissions += 1
-                submitted_at[index] = telemetry.now_us()
-                telemetry.emit_wall(
-                    CELL_START,
-                    track=f"worker:{lanes[index]}",
-                    ts=submitted_at[index],
-                    benchmark=specs[index].benchmark_name,
-                    scheme=specs[index].scheme,
-                    attempt=attempts[index],
-                )
+                cells = []
+                for index in chunk:
+                    attempts[index] += 1
+                    lanes.setdefault(index, lane)
+                    submitted_at[index] = telemetry.now_us()
+                    telemetry.emit_wall(
+                        CELL_START,
+                        track=f"worker:{lanes[index]}",
+                        ts=submitted_at[index],
+                        benchmark=specs[index].benchmark_name,
+                        scheme=specs[index].scheme,
+                        attempt=attempts[index],
+                    )
+                    cells.append((index, specs[index], attempts[index]))
                 futures[
                     pool.submit(
-                        _pool_worker,
-                        (
-                            specs[index],
-                            self.cell_timeout,
-                            self.fault_plan,
-                            attempts[index],
-                        ),
+                        _pool_worker_chunk,
+                        (tuple(cells), self.cell_timeout, self.fault_plan),
                     )
-                ] = index
+                ] = list(chunk)
 
-            def _broken(index: int, cause: BaseException) -> _PoolBroken:
-                interrupted = [index] + sorted(futures.values())
+            def _broken(
+                chunk: List[int], cause: BaseException
+            ) -> _PoolBroken:
+                interrupted = set(chunk)
+                for in_flight in futures.values():
+                    interrupted.update(in_flight)
                 futures.clear()
-                return _PoolBroken(interrupted, cause)
+                return _PoolBroken(sorted(interrupted), cause)
 
-            for index in indices:
+            for chunk in self._chunks(indices):
                 try:
-                    _submit(index)
+                    _submit(chunk)
                 except BrokenProcessPool as error:
                     raise _broken(
-                        index, error
+                        chunk, error
                     ) from error  # pool died mid-submission
             while futures:
                 finished, _ = wait(
                     list(futures), return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    index = futures.pop(future)
-                    spec = specs[index]
-                    track = f"worker:{lanes[index]}"
-                    error = future.exception()
-                    if error is None:
-                        result = future.result()
+                    chunk = futures.pop(future)
+                    chunk_error = future.exception()
+                    if isinstance(chunk_error, BrokenProcessPool):
+                        raise _broken(chunk, chunk_error) from chunk_error
+                    if chunk_error is not None:
+                        # The chunk itself failed (not one of its cells —
+                        # e.g. an unpicklable payload): feed the error to
+                        # every member through the normal retry machinery.
+                        warmup = None
+                        outcomes = [
+                            (index, "error", chunk_error) for index in chunk
+                        ]
+                    else:
+                        warmup, outcomes = future.result()
+                    if warmup is not None:
+                        telemetry.emit_wall(WORKER_WARMUP, **warmup)
+                        telemetry.metrics.counter(
+                            "engine.worker_warmups"
+                        ).inc()
+                    retry: List[int] = []
+                    for index, status, value in outcomes:
+                        spec = specs[index]
+                        track = f"worker:{lanes[index]}"
+                        if status == "ok":
+                            telemetry.emit_wall(
+                                CELL_DONE,
+                                track=track,
+                                ts=submitted_at[index],
+                                dur=telemetry.now_us() - submitted_at[index],
+                                benchmark=spec.benchmark_name,
+                                scheme=spec.scheme,
+                            )
+                            self._record_success(
+                                spec, index, value, attempts[index], results
+                            )
+                            continue
+                        error = value
+                        if isinstance(error, CellTimeout):
+                            self.stats.timeouts += 1
+                            telemetry.emit_wall(
+                                TIMEOUT,
+                                track=track,
+                                benchmark=spec.benchmark_name,
+                                scheme=spec.scheme,
+                            )
+                            telemetry.metrics.counter("engine.timeouts").inc()
+                        if attempts[index] > self.max_retries:
+                            if self.failure_policy == "raise":
+                                raise CellExecutionError(
+                                    spec, attempts[index], error
+                                ) from error
+                            self._record_failure(
+                                spec, index, attempts[index], error
+                            )
+                            continue
+                        self.stats.retries += 1
                         telemetry.emit_wall(
-                            CELL_DONE,
+                            RETRY,
                             track=track,
-                            ts=submitted_at[index],
-                            dur=telemetry.now_us() - submitted_at[index],
                             benchmark=spec.benchmark_name,
                             scheme=spec.scheme,
+                            attempt=attempts[index],
                         )
-                        self._record_success(
-                            spec, index, result, attempts[index], results
-                        )
-                        continue
-                    if isinstance(error, BrokenProcessPool):
-                        raise _broken(index, error) from error
-                    if isinstance(error, CellTimeout):
-                        self.stats.timeouts += 1
-                        telemetry.emit_wall(
-                            TIMEOUT,
-                            track=track,
-                            benchmark=spec.benchmark_name,
-                            scheme=spec.scheme,
-                        )
-                        telemetry.metrics.counter("engine.timeouts").inc()
-                    if attempts[index] > self.max_retries:
-                        if self.failure_policy == "raise":
-                            raise CellExecutionError(
-                                spec, attempts[index], error
-                            ) from error
-                        self._record_failure(
-                            spec, index, attempts[index], error
-                        )
-                        continue
-                    self.stats.retries += 1
-                    telemetry.emit_wall(
-                        RETRY,
-                        track=track,
-                        benchmark=spec.benchmark_name,
-                        scheme=spec.scheme,
-                        attempt=attempts[index],
-                    )
-                    telemetry.metrics.counter("engine.retries").inc()
-                    self._sleep_backoff(attempts[index])
-                    try:
-                        _submit(index)
-                    except BrokenProcessPool as pool_error:
-                        raise _broken(
-                            index, pool_error
-                        ) from pool_error
-            fail_fast = False
-        finally:
+                        telemetry.metrics.counter("engine.retries").inc()
+                        self._sleep_backoff(attempts[index])
+                        retry.append(index)
+                    for index in retry:
+                        try:
+                            _submit([index])
+                        except BrokenProcessPool as pool_error:
+                            raise _broken(
+                                [index], pool_error
+                            ) from pool_error
+        except BaseException:
             # Fatal exits (CellExecutionError, _PoolBroken) must not sit
-            # waiting for in-flight cells of a poisoned batch; the clean
-            # exit has nothing in flight and shuts down normally.
-            _shutdown_pool(pool, fail_fast)
+            # waiting for in-flight cells of a poisoned batch, and the
+            # pool itself is suspect: drop it fail-fast.  The clean exit
+            # keeps the warm pool alive for the next batch.
+            self._discard_pool(fail_fast=True)
+            raise

@@ -49,7 +49,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.sim.driver import RunResult
 
@@ -178,6 +178,37 @@ class ResultStore:
     ) -> Path:
         """Atomically persist one cell's result; returns the entry path."""
         self.root.mkdir(parents=True, exist_ok=True)
+        return self._put_one(benchmark, scheme, fingerprint, result)
+
+    def put_many(
+        self,
+        entries: Iterable[Tuple[str, str, str, RunResult]],
+    ) -> List[Path]:
+        """Persist a batch of ``(benchmark, scheme, fingerprint, result)``
+        entries; returns their paths in order.
+
+        Each entry is still an independent atomic write (a crash mid-batch
+        leaves a valid prefix, never a truncated file), but the directory
+        creation and the call overhead are paid once per batch instead of
+        once per cell — the engine flushes a whole batch's simulated
+        results through here.
+        """
+        entries = list(entries)
+        if not entries:
+            return []
+        self.root.mkdir(parents=True, exist_ok=True)
+        return [
+            self._put_one(benchmark, scheme, fingerprint, result)
+            for benchmark, scheme, fingerprint, result in entries
+        ]
+
+    def _put_one(
+        self,
+        benchmark: str,
+        scheme: str,
+        fingerprint: str,
+        result: RunResult,
+    ) -> Path:
         path = self.path_for(benchmark, scheme, fingerprint)
         payload = {
             "schema": STORE_SCHEMA_VERSION,

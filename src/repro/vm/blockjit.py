@@ -1,13 +1,15 @@
 """Source-level codegen for fused block bodies (fast kernel).
 
-When the adaptation policy installs no ``on_block`` hook, nothing ever
-reads a block's load/store address lists: the addresses are generated,
+When nothing reads a block's load/store address lists — either no
+``on_block`` hook is installed, or the installed policy declares
+``on_block_reads_addresses = False`` (see
+:class:`repro.vm.vm.AdaptationHooks`) — the addresses are generated,
 pushed through the L1D, and discarded.  For that case this module
 compiles — once per distinct ``(behaviour parameters, n_loads,
-n_stores)`` signature, cached for the process lifetime — a *fused*
-closure that draws each address and applies the L1D state transition in
-the same loop iteration, skipping the intermediate lists entirely.
-Small reference counts are fully unrolled.
+n_stores)`` signature, cached process-wide — a *fused* closure that
+draws each address and applies the L1D state transition in the same
+loop iteration, skipping the intermediate lists entirely.  Small
+reference counts are fully unrolled.
 
 Correctness contract (enforced by ``tests/test_kernel_equivalence.py``
 and the property tests): a fused closure must consume the RNG stream and
@@ -16,10 +18,27 @@ mutate cache state *exactly* like the readable pair
 :meth:`~repro.uarch.cache.Cache.access_many`):
 
 * address draws replicate CPython's ``randrange`` rejection loop
-  (see ``_u4`` in :mod:`repro.workloads.patterns`), all loads drawn
-  before all stores — which for every flat behaviour equals the order
-  ``generate`` draws them in (``MixedBehavior`` interleaves per
-  component, so it is *not* fused and returns ``None``);
+  (see ``_u4`` in :mod:`repro.workloads.patterns`) with the draws
+  inlined as straight-line code — one ``getrandbits`` C call per word
+  the reference consumes, in the reference's order.  (Batching the
+  words into one wide ``getrandbits`` call and splitting the bigint
+  was measured ~2x *slower* than the per-draw C calls — pure-Python
+  word extraction costs more than it saves; see INTERNALS.md §12.)
+* the draw's address arithmetic is replaced by a **draw table**: for
+  the affine behaviours (stack / working-set / pointer-chase) the line
+  index and the set index are pure functions of the draw ``r``, whose
+  range is small (``span // WORD`` values), so the closure precomputes
+  ``r -> (line, set index)`` tuples once per ``(base, geometry)`` pair
+  and each access costs two tuple reads instead of four big-int
+  operations.  The tables hold exactly the values the reference
+  arithmetic produces — bit-identity is preserved by construction, and
+  geometry is part of the table key, so mid-run resizes switch tables.
+* ``MixedBehavior`` fuses in two phases: phase one draws every
+  component's addresses in ``generate``'s order (per component, loads
+  then stores) into unrolled locals; phase two applies the cache
+  transitions in ``access_many``'s order (all loads, then all stores).
+  Draw order and access order differ for mixes, which is why the
+  single-pass form used for flat behaviours cannot apply.
 * the cache-update snippet mirrors ``Cache.access_block`` line for line:
   pop-with-default LRU touch, write-allocate, dirty-victim writeback;
 * cache geometry (``_sets``/``_set_mask``/…) is re-read on every call,
@@ -33,6 +52,14 @@ two line lists are lazily allocated and come back as ``None`` when empty
 (most blocks on a warm cache miss nothing; skipping two list allocations
 per block is measurable).  Statistics updates are left to the caller
 (the fast kernel inlines them).
+
+The compiled-closure cache is bounded (:data:`CACHE_LIMIT`, FIFO
+eviction) so pathological workloads — property tests sweeping thousands
+of behaviour parameters, long-lived engine workers serving many
+benchmarks — cannot grow it without limit.  Eviction is safe: a
+re-fused signature compiles to identical source.  ``cache_info()``
+exposes the counters and ``publish_metrics()`` mirrors them into a
+:class:`repro.obs.MetricsRegistry` (``blockjit.*`` gauges).
 """
 
 from __future__ import annotations
@@ -41,6 +68,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.workloads.patterns import (
     WORD,
+    MixedBehavior,
     PointerChaseBehavior,
     StackBehavior,
     StridedBehavior,
@@ -53,11 +81,41 @@ from repro.workloads.patterns import (
 #: emitted (keeps generated code — and compile time — bounded).
 UNROLL_LIMIT = 16
 
+#: Compiled closures kept process-wide before FIFO eviction kicks in.
+#: Real suites compile a few dozen signatures; the bound only matters
+#: for adversarial parameter sweeps.
+CACHE_LIMIT = 256
+
+#: Draw-table variants kept per closure (one per distinct ``(base,
+#: geometry)`` pair seen at run time) before the table cache is reset.
+LUT_KEY_LIMIT = 512
+
 #: Process-wide cache of compiled closures, keyed by the behaviour's
 #: parameter signature plus the reference counts.  Benchmarks build
 #: methods from a handful of behaviour templates, so runs and test cases
 #: share almost all entries.
 _CACHE: Dict[Tuple, Callable] = {}
+
+#: Monotonic codegen-cache telemetry (process lifetime).
+CACHE_STATS = {"compiles": 0, "hits": 0, "evictions": 0}
+
+
+def cache_info() -> Dict[str, int]:
+    """Snapshot of the compiled-closure cache counters."""
+    return dict(CACHE_STATS, size=len(_CACHE), limit=CACHE_LIMIT)
+
+
+def publish_metrics(metrics) -> None:
+    """Mirror :func:`cache_info` into a ``MetricsRegistry`` as gauges."""
+    for name, value in cache_info().items():
+        metrics.gauge(f"blockjit.cache_{name}").set(value)
+
+
+def clear_cache() -> int:
+    """Drop every compiled closure (tests); returns the count dropped."""
+    count = len(_CACHE)
+    _CACHE.clear()
+    return count
 
 
 def _rejection_draw(n: int, k: int, indent: str) -> str:
@@ -69,8 +127,8 @@ def _rejection_draw(n: int, k: int, indent: str) -> str:
     )
 
 
-def _signature(behavior) -> Optional[Tuple]:
-    """Hashable parameter signature, or None if the behaviour can't fuse."""
+def _flat_signature(behavior) -> Optional[Tuple]:
+    """Parameter signature of one non-mixed behaviour, or ``None``."""
     if type(behavior) is StackBehavior:
         return ("stack", behavior.span)
     if type(behavior) is WorkingSetBehavior:
@@ -89,54 +147,146 @@ def _signature(behavior) -> Optional[Tuple]:
     return None
 
 
-def _draw_parts(behavior, n_loads: int, n_stores: int):
-    """Returns (prologue, load_snippet, store_snippet) source fragments.
+def _signature(behavior) -> Optional[Tuple]:
+    """Hashable parameter signature, or None if the behaviour can't fuse."""
+    if type(behavior) is MixedBehavior:
+        parts = []
+        for component, weight in behavior.components:
+            sub = _flat_signature(component)
+            if sub is None:
+                return None
+            parts.append((sub, weight))
+        return ("mixed", tuple(parts))
+    return _flat_signature(behavior)
+
+
+#: L1D state transition per address — textually mirrors
+#: ``Cache.access_block`` (kept in lockstep by the equivalence and
+#: property suites).  ``{line}``/``{s}`` name the locals holding the
+#: line index and its set dict; ``{hit}``/``{miss}``/``{fill}`` are
+#: filled per access type.
+_ACCESS_TAIL = """\
+    {probe}
+        {hit}
+    else:
+        {miss} += 1
+        if miss_lines is None:
+            miss_lines = []
+        miss_lines.append({line} << line_shift)
+        if len({s}) >= assoc:
+            victim = next(iter({s}))
+            if {s}.pop(victim):
+                if wb_lines is None:
+                    wb_lines = []
+                wb_lines.append(victim << line_shift)
+        {s}[{line}] = {fill}
+"""
+
+
+def _access(line: str, s: str, is_store: bool) -> str:
+    if is_store:
+        # A store hit overwrites the dirty bit unconditionally, so the
+        # popped value itself is dead — skip the temporary.
+        return _ACCESS_TAIL.format(
+            probe=f"if {s}.pop({line}, missing) is not missing:",
+            line=line, s=s, hit=f"{s}[{line}] = True", miss="w_m",
+            fill="True",
+        )
+    return _ACCESS_TAIL.format(
+        probe=(
+            f"prev = {s}.pop({line}, missing)\n"
+            f"    if prev is not missing:"
+        ),
+        line=line, s=s, hit=f"{s}[{line}] = prev", miss="r_m",
+        fill="False",
+    )
+
+
+def _lut_prologue(tag: str, base_expr: str, n_values: int) -> str:
+    """Draw-table setup: ``r -> line`` / ``r -> set index`` tuples.
+
+    The table is keyed by everything its values depend on — the base
+    address and the live cache geometry — so a mid-run resize (new
+    ``set_mask``) or a different frame/region base selects a different
+    table.  Entries are exactly the reference arithmetic's results,
+    computed once instead of per access.
+    """
+    return (
+        f"    base{tag} = {base_expr}\n"
+        f"    _k = (base{tag}, line_shift, set_mask)\n"
+        f"    _pair = _luts{tag}.get(_k)\n"
+        f"    if _pair is None:\n"
+        f"        if len(_luts{tag}) >= {LUT_KEY_LIMIT}:\n"
+        f"            _luts{tag}.clear()\n"
+        f"        _ls = []\n"
+        f"        _xs = []\n"
+        f"        for _r in range({n_values}):\n"
+        f"            _ln = (base{tag} + _r * {WORD}) >> line_shift\n"
+        f"            _ls.append(_ln)\n"
+        f"            _xs.append(_ln & set_mask)\n"
+        f"        _pair = (tuple(_ls), tuple(_xs))\n"
+        f"        _luts{tag}[_k] = _pair\n"
+        f"    lines{tag}, idxs{tag} = _pair\n"
+    )
+
+
+def _draw_parts(behavior, n_loads: int, n_stores: int, tag: str = ""):
+    """Returns ``(prologue, load_snippet, store_snippet, uses_lut)``.
 
     Each snippet draws one address and leaves its cache-line index in
-    ``line`` (the address itself is never materialised — only the line
-    matters to the L1D) and is emitted once per reference (unrolled) or
-    inside a ``for`` loop.  The prologue runs once per call and may bind
-    draw-time locals.
+    ``line`` and the target set dict in ``s`` (the address itself is
+    never materialised — only the line matters to the L1D).  ``tag``
+    suffixes every behaviour-local name so mixed-behaviour components
+    can coexist in one closure.  The prologue runs once per call.
     """
     if type(behavior) is StackBehavior:
         n, k = _u4(behavior.span)
+        prologue = _lut_prologue(tag, "frame_base", n)
         snippet = _rejection_draw(n, k, "    ") + (
-            f"    line = (frame_base + r * {WORD}) >> line_shift\n"
+            f"    line = lines{tag}[r]\n"
+            f"    s = sets[idxs{tag}[r]]\n"
         )
-        return "", snippet, snippet
+        return prologue, snippet, snippet, True
     if type(behavior) is WorkingSetBehavior:
         n_hot, k_hot = _u4(behavior._hot_span)
         n_span, k_span = _u4(behavior.span)
         prologue = (
-            f"    base = region_base + {behavior.offset}\n"
-            "    random = rng.random\n"
+            _lut_prologue(
+                tag, f"region_base + {behavior.offset}", n_span
+            )
+            + "    random = rng.random\n"
         )
         snippet = (
             f"    if random() < {behavior.locality!r}:\n"
             + _rejection_draw(n_hot, k_hot, "        ")
             + "    else:\n"
             + _rejection_draw(n_span, k_span, "        ")
-            + f"    line = (base + r * {WORD}) >> line_shift\n"
+            + f"    line = lines{tag}[r]\n"
+            + f"    s = sets[idxs{tag}[r]]\n"
         )
-        return prologue, snippet, snippet
+        return prologue, snippet, snippet, True
     if type(behavior) is PointerChaseBehavior:
         n, k = _u4(behavior.span)
-        prologue = f"    base = region_base + {behavior.offset}\n"
-        snippet = _rejection_draw(n, k, "    ") + (
-            f"    line = (base + r * {WORD}) >> line_shift\n"
+        prologue = _lut_prologue(
+            tag, f"region_base + {behavior.offset}", n
         )
-        return prologue, snippet, snippet
+        snippet = _rejection_draw(n, k, "    ") + (
+            f"    line = lines{tag}[r]\n"
+            f"    s = sets[idxs{tag}[r]]\n"
+        )
+        return prologue, snippet, snippet, True
     if type(behavior) is WanderingWindowBehavior:
         n, k = _u4(behavior.window)
         span = behavior.region_span
         prologue = (
-            f"    position = (iteration * {behavior.drift}) % {span}\n"
+            f"    position{tag} = (iteration * {behavior.drift}) % {span}\n"
         )
         snippet = _rejection_draw(n, k, "    ") + (
             "    line = (region_base"
-            f" + (position + r * {WORD}) % {span}) >> line_shift\n"
+            f" + (position{tag} + r * {WORD}) % {span}) >> line_shift\n"
+            "    s = sets[line & set_mask]\n"
         )
-        return prologue, snippet, snippet
+        return prologue, snippet, snippet, False
     if type(behavior) is StridedBehavior:
         span = behavior.span
         stride = behavior.stride
@@ -145,50 +295,16 @@ def _draw_parts(behavior, n_loads: int, n_stores: int):
         # start = iteration*refs*stride; stepping off by stride modulo
         # span yields the same sequence without the per-ref multiply.
         prologue = (
-            f"    base = region_base + {behavior.offset}\n"
-            f"    off = (iteration * {refs * stride}) % {span}\n"
+            f"    base{tag} = region_base + {behavior.offset}\n"
+            f"    off{tag} = (iteration * {refs * stride}) % {span}\n"
         )
         snippet = (
-            "    line = (base + off) >> line_shift\n"
-            f"    off = (off + {stride}) % {span}\n"
+            f"    line = (base{tag} + off{tag}) >> line_shift\n"
+            f"    off{tag} = (off{tag} + {stride}) % {span}\n"
+            "    s = sets[line & set_mask]\n"
         )
-        return prologue, snippet, snippet
+        return prologue, snippet, snippet, False
     raise AssertionError(f"unfusable behaviour {behavior!r}")
-
-
-#: L1D state transition per address — textually mirrors
-#: ``Cache.access_block`` (kept in lockstep by the equivalence and
-#: property suites).  ``{hit}``/``{miss}``/``{fill}`` are filled per
-#: access type.
-_CACHE_SNIPPET = """\
-    s = sets[line & set_mask]
-    prev = s.pop(line, missing)
-    if prev is not missing:
-        {hit}
-    else:
-        {miss} += 1
-        if miss_lines is None:
-            miss_lines = []
-        miss_lines.append(line << line_shift)
-        if len(s) >= assoc:
-            victim = next(iter(s))
-            if s.pop(victim):
-                if wb_lines is None:
-                    wb_lines = []
-                wb_lines.append(victim << line_shift)
-        s[line] = {fill}
-"""
-
-_LOAD_ACCESS = _CACHE_SNIPPET.format(
-    hit="s[line] = prev",
-    miss="r_m",
-    fill="False",
-)
-_STORE_ACCESS = _CACHE_SNIPPET.format(
-    hit="s[line] = True",
-    miss="w_m",
-    fill="True",
-)
 
 
 def _emit_refs(draw: str, access: str, count: int) -> str:
@@ -205,12 +321,82 @@ def _emit_refs(draw: str, access: str, count: int) -> str:
     return f"    for _ in range({count}):\n{indented}"
 
 
+_LOAD_ACCESS = _access("line", "s", is_store=False)
+_STORE_ACCESS = _access("line", "s", is_store=True)
+
+
+def _emit_flat(behavior, n_loads: int, n_stores: int):
+    """Body + closure params for a non-mixed behaviour."""
+    prologue, load_snip, store_snip, uses_lut = _draw_parts(
+        behavior, n_loads, n_stores, tag="0"
+    )
+    body = (
+        prologue
+        + _emit_refs(load_snip, _LOAD_ACCESS, n_loads)
+        + _emit_refs(store_snip, _STORE_ACCESS, n_stores)
+    )
+    params = ", _luts0={}" if uses_lut else ""
+    return body, params
+
+
+def _emit_mixed(behavior, n_loads: int, n_stores: int):
+    """Two-phase body for ``MixedBehavior``, or ``None``.
+
+    ``generate`` draws per component (its loads, then its stores) while
+    ``access_many`` touches the cache in concatenated list order (every
+    component's loads, then every component's stores) — so the draws
+    land in unrolled locals first and the cache transitions replay them
+    in list order.  Only fully unrollable mixes fuse; bigger blocks
+    keep the list path.
+    """
+    if n_loads + n_stores > UNROLL_LIMIT:
+        return None
+    weights = [w for _, w in behavior.components]
+    load_shares = MixedBehavior._apportion(n_loads, weights)
+    store_shares = MixedBehavior._apportion(n_stores, weights)
+    prologues = []
+    params = []
+    draw_phase = []
+    load_tails = []
+    store_tails = []
+    ref_id = 0
+    for ci, (component, _) in enumerate(behavior.components):
+        nl, ns = load_shares[ci], store_shares[ci]
+        if nl == 0 and ns == 0:
+            continue
+        tag = str(ci)
+        prologue, load_snip, store_snip, uses_lut = _draw_parts(
+            component, nl, ns, tag=tag
+        )
+        prologues.append(prologue)
+        if uses_lut:
+            params.append(f", _luts{tag}={{}}")
+        for snip, count, tails, is_store in (
+            (load_snip, nl, load_tails, False),
+            (store_snip, ns, store_tails, True),
+        ):
+            for _ in range(count):
+                line_var = f"ln{ref_id}"
+                s_var = f"sd{ref_id}"
+                ref_id += 1
+                draw_phase.append(
+                    snip.replace("    line = ", f"    {line_var} = ")
+                    .replace("    s = ", f"    {s_var} = ")
+                    .replace("line & set_mask", f"{line_var} & set_mask")
+                )
+                tails.append(_access(line_var, s_var, is_store))
+    body = "".join(prologues) + "".join(
+        draw_phase + load_tails + store_tails
+    )
+    return body, "".join(params)
+
+
 def compile_fused_block(behavior, n_loads: int, n_stores: int):
     """Compile (or fetch from cache) a fused body for ``behavior``.
 
     Returns ``fused(rng, frame_base, region_base, iteration, l1,
     missing)`` or ``None`` when the behaviour has no fused form
-    (``MixedBehavior``, custom behaviours).
+    (custom behaviours, oversized mixes).
     """
     sig = _signature(behavior)
     if sig is None:
@@ -218,12 +404,18 @@ def compile_fused_block(behavior, n_loads: int, n_stores: int):
     key = sig + (n_loads, n_stores)
     fn = _CACHE.get(key)
     if fn is not None:
+        CACHE_STATS["hits"] += 1
         return fn
-    prologue, load_snip, store_snip = _draw_parts(
-        behavior, n_loads, n_stores
-    )
+    if type(behavior) is MixedBehavior:
+        emitted = _emit_mixed(behavior, n_loads, n_stores)
+        if emitted is None:
+            return None
+        body, params = emitted
+    else:
+        body, params = _emit_flat(behavior, n_loads, n_stores)
     source = (
-        "def fused(rng, frame_base, region_base, iteration, l1, missing):\n"
+        "def fused(rng, frame_base, region_base, iteration, l1, "
+        f"missing{params}):\n"
         "    getrandbits = rng.getrandbits\n"
         "    line_shift = l1._line_shift\n"
         "    set_mask = l1._set_mask\n"
@@ -233,9 +425,7 @@ def compile_fused_block(behavior, n_loads: int, n_stores: int):
         "    wb_lines = None\n"
         "    r_m = 0\n"
         "    w_m = 0\n"
-        + prologue
-        + _emit_refs(load_snip, _LOAD_ACCESS, n_loads)
-        + _emit_refs(store_snip, _STORE_ACCESS, n_stores)
+        + body
         + "    return r_m, w_m, miss_lines, wb_lines\n"
     )
     namespace: Dict[str, object] = {}
@@ -243,5 +433,9 @@ def compile_fused_block(behavior, n_loads: int, n_stores: int):
         compile(source, f"<blockjit:{key}>", "exec"), namespace
     )
     fn = namespace["fused"]
+    if len(_CACHE) >= CACHE_LIMIT:
+        del _CACHE[next(iter(_CACHE))]
+        CACHE_STATS["evictions"] += 1
     _CACHE[key] = fn
+    CACHE_STATS["compiles"] += 1
     return fn

@@ -44,6 +44,24 @@ from repro.vm.jit import (
 from repro.vm.vm import AdaptationHooks, VirtualMachine, _EMPTY, _SENTINEL
 
 
+def _counts_hook(policy, on_block, counts_only):
+    """The bound narrow hook, or None when ``on_block`` must be used.
+
+    A count-only policy that overrides ``on_block_counts`` gets its
+    per-block callback without a BlockEvent allocation; anything else
+    (no hook at all, address-reading hook, or no narrow override)
+    returns None and the runner falls back to ``on_block``.
+    """
+    if on_block is None or not counts_only:
+        return None
+    if (
+        type(policy).on_block_counts is AdaptationHooks.on_block_counts
+        and "on_block_counts" not in policy.__dict__
+    ):
+        return None
+    return policy.on_block_counts
+
+
 class FastVirtualMachine(VirtualMachine):
     """Drop-in replacement for :class:`VirtualMachine`, ~3-5x faster."""
 
@@ -252,8 +270,18 @@ class FastVirtualMachine(VirtualMachine):
             and "on_block" not in policy.__dict__
         ):
             on_block = None
+            counts_only = True
         else:
             on_block = policy.on_block
+            # A class-level hook declaring it never reads the event's
+            # address lists keeps the fused path; it then sees a
+            # BlockEvent with empty loads/stores.  Instance overrides
+            # are conservative (addresses assumed read).
+            counts_only = (
+                not policy.on_block_reads_addresses
+                and "on_block" not in policy.__dict__
+            )
+        counts_hook = _counts_hook(policy, on_block, counts_only)
         sampler = self.sampler
         sampler_advance = sampler.advance
         stats = self.stats
@@ -292,11 +320,14 @@ class FastVirtualMachine(VirtualMachine):
                 # Same fused fast path as _run_fused (see there for the
                 # ordering argument); iteration counters stay in the
                 # per-thread dict because the decode table is shared.
-                fused = dec.fused_gen if on_block is None else None
+                fused = dec.fused_gen if counts_only else None
                 if fused is not None:
-                    key = dec.key
-                    iteration = block_iterations.get(key, 0)
-                    block_iterations[key] = iteration + 1
+                    if dec.needs_iter:
+                        key = dec.key
+                        iteration = block_iterations.get(key, 0)
+                        block_iterations[key] = iteration + 1
+                    else:
+                        iteration = 0
                     r_m, w_m, miss_lines, wb_lines = fused(
                         rng,
                         activation.frame_base,
@@ -307,6 +338,8 @@ class FastVirtualMachine(VirtualMachine):
                     )
                     nl = dec.n_loads
                     ns = dec.n_stores
+                    # Count-only hooks never read the address lists.
+                    loads = stores = _EMPTY
                     # Stats epilogue access_block would have applied
                     # (fills == miss count; lists may be None when empty).
                     l1_stats.read_accesses += nl
@@ -319,9 +352,12 @@ class FastVirtualMachine(VirtualMachine):
                 else:
                     fgen = dec.fast_gen
                     if fgen is not None:
-                        key = dec.key
-                        iteration = block_iterations.get(key, 0)
-                        block_iterations[key] = iteration + 1
+                        if dec.needs_iter:
+                            key = dec.key
+                            iteration = block_iterations.get(key, 0)
+                            block_iterations[key] = iteration + 1
+                        else:
+                            iteration = 0
                         loads, stores = fgen(
                             rng,
                             activation.frame_base,
@@ -414,7 +450,9 @@ class FastVirtualMachine(VirtualMachine):
                 thread_insns[thread_id] += n_insns
                 if thread.hotspot_depth:
                     stats.instructions_in_hotspots += n_insns
-                if on_block is not None:
+                if counts_hook is not None:
+                    counts_hook(n_insns, dec.block_pc, thread_id, machine)
+                elif on_block is not None:
                     on_block(
                         BlockEvent(
                             dec.method_name,
@@ -507,10 +545,21 @@ class FastVirtualMachine(VirtualMachine):
             and "on_block" not in policy.__dict__
         ):
             on_block = None
+            counts_only = True
         else:
             on_block = policy.on_block
+            # See _run_quantum: count-only class hooks keep the fused
+            # path and receive BlockEvents with empty address lists.
+            counts_only = (
+                not policy.on_block_reads_addresses
+                and "on_block" not in policy.__dict__
+            )
+        counts_hook = _counts_hook(policy, on_block, counts_only)
         sampler = self.sampler
         sampler_advance = sampler.advance
+        # Only sampler_advance itself moves the threshold, so it is kept
+        # in a local and re-read after each advance.
+        next_sample_at = sampler._next_sample_at
         stats = self.stats
         thread_insns = stats.thread_instructions
         thread_id = thread.thread_id
@@ -566,20 +615,33 @@ class FastVirtualMachine(VirtualMachine):
             frame_base = activation.frame_base
             loop_states = activation.loop_states
             in_hotspot = thread.hotspot_depth
+            # The instruction/cycle counters live in locals for the
+            # segment and are written back ("flushed") at every exit
+            # from the tight loop — before hook calls, sampler advances,
+            # invokes/returns, and budget exits — so external readers
+            # always observe exact values.  The accumulation *order* is
+            # unchanged (same adds, same operands); only the attribute
+            # stores are deferred.
+            now_insns = machine.instructions
+            now_cycles = machine.cycles
 
             while True:
                 # ---- block body (reference: _execute_body) ----
-                # When no on_block hook exists nothing reads the address
-                # lists, so the codegen'd fused closure (blockjit) draws
-                # each address and updates the L1D in one pass.  The
-                # decider runs *after* the cache update in both branches:
-                # it only draws from the RNG (after the body's draws) and
-                # never touches the cache, so stream and state order
-                # match the reference exactly.
-                fused = dec.fused_gen if on_block is None else None
+                # When nothing reads the address lists (no on_block hook,
+                # or a hook declaring itself count-only), the codegen'd
+                # fused closure (blockjit) draws each address and updates
+                # the L1D in one pass.  The decider runs *after* the
+                # cache update in both branches: it only draws from the
+                # RNG (after the body's draws) and never touches the
+                # cache, so stream and state order match the reference
+                # exactly.
+                fused = dec.fused_gen if counts_only else None
                 if fused is not None:
-                    iteration = dec.iter_count
-                    dec.iter_count = iteration + 1
+                    if dec.needs_iter:
+                        iteration = dec.iter_count
+                        dec.iter_count = iteration + 1
+                    else:
+                        iteration = 0
                     r_m, w_m, miss_lines, wb_lines = fused(
                         rng, frame_base, dec.region_base, iteration,
                         l1, missing,
@@ -588,11 +650,15 @@ class FastVirtualMachine(VirtualMachine):
                     # misses, so the per-block totals are static.
                     nl = dec.n_loads
                     ns = dec.n_stores
+                    loads = stores = _EMPTY
                 else:
                     fgen = dec.fast_gen
                     if fgen is not None:
-                        iteration = dec.iter_count
-                        dec.iter_count = iteration + 1
+                        if dec.needs_iter:
+                            iteration = dec.iter_count
+                            dec.iter_count = iteration + 1
+                        else:
+                            iteration = 0
                         loads, stores = fgen(
                             rng, frame_base, dec.region_base, iteration
                         )
@@ -724,20 +790,25 @@ class FastVirtualMachine(VirtualMachine):
                 l2e.leakage_nj += cycles * l2e._leak_nj
                 for component in pipeline:
                     component.energy_nj += cycles * component._nj
-                # Counter updates keep the new values in locals so the
-                # budget/sampler checks below need no re-read (the hook
-                # branch re-reads — a hook may charge cycles).
-                machine.instructions = now_insns = (
-                    machine.instructions + n_insns
-                )
-                machine.cycles = now_cycles = machine.cycles + cycles
+                now_insns += n_insns
+                now_cycles += cycles
 
                 # ---- VM bookkeeping + hooks ----
                 stats.blocks_executed += 1
                 thread_insns[thread_id] += n_insns
                 if in_hotspot:
                     stats.instructions_in_hotspots += n_insns
-                if on_block is not None:
+                if counts_hook is not None:
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
+                    counts_hook(n_insns, dec.block_pc, thread_id, machine)
+                    # Re-read after the hook: a reconfiguration inside
+                    # the hook charges stall cycles the sampler must see.
+                    now_insns = machine.instructions
+                    now_cycles = machine.cycles
+                elif on_block is not None:
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
                     on_block(
                         BlockEvent(
                             dec.method_name,
@@ -753,12 +824,16 @@ class FastVirtualMachine(VirtualMachine):
                         ),
                         machine,
                     )
-                    # Re-read after the hook: a reconfiguration inside
-                    # on_block charges stall cycles the sampler must see.
                     now_insns = machine.instructions
                     now_cycles = machine.cycles
-                if now_cycles >= sampler._next_sample_at:
+                if now_cycles >= next_sample_at:
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
                     sampler_advance(now_cycles, dec.method_name)
+                    next_sample_at = sampler._next_sample_at
+                    # Hotspot detection inside the advance may charge
+                    # JIT compile cycles.
+                    now_cycles = machine.cycles
 
                 if dec.n_calls:
                     # Launch the first call right here (saves one outer
@@ -766,6 +841,8 @@ class FastVirtualMachine(VirtualMachine):
                     # budget-gated exactly as the outer loop would.
                     # The callee's blocks run via the outer loop, which
                     # re-hoists the new activation's context.
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
                     activation.bid = dec.bid
                     if decider is not None:
                         loop_states["__pending__"] = taken
@@ -778,6 +855,8 @@ class FastVirtualMachine(VirtualMachine):
                 if now_insns >= max_instructions:
                     # The terminator micro-step is budget-gated in the
                     # reference; leave it unevaluated.
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
                     activation.bid = dec.bid
                     activation.phase = 1
                     if decider is not None:
@@ -792,6 +871,8 @@ class FastVirtualMachine(VirtualMachine):
                 elif kind == TERM_GOTO:
                     dec = dec.goto_dec
                 else:  # TERM_RETURN
+                    machine.instructions = now_insns
+                    machine.cycles = now_cycles
                     self._return(thread)
                     if not stack:
                         thread.finished = True

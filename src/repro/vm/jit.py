@@ -199,6 +199,7 @@ class DecodedBlock:
         "persistent",
         "branch_pc",
         "block_pc",
+        "needs_iter",
         "iter_count",
         "pstate",
     )
@@ -244,6 +245,12 @@ class DecodedBlock:
                     )
 
             self.fast_gen = fast
+        #: Whether the generators consume the iteration counter at all;
+        #: when False the runners skip its per-execution maintenance
+        #: (the skipped value is unobservable).
+        self.needs_iter = (
+            self.gen is not None and self.gen.uses_iteration
+        )
         self.serialized = getattr(memory, "serialized", False)
         region = method.region
         self.region_base = region.base if region is not None else 0

@@ -76,11 +76,39 @@ class AdaptationHooks:
 
     name = "static"
 
+    #: Declares whether this policy's ``on_block`` reads the event's
+    #: ``loads``/``stores`` address lists.  The conservative default is
+    #: True; a policy that only consumes block *counts* (``n_insns``,
+    #: ``block_pc``, ``thread_id``, …) may set it to False, which lets
+    #: the fast kernel keep its fused draw+cache path (the hook then
+    #: receives a BlockEvent whose address lists are empty).  Both
+    #: shipped ACE schemes are count-only.  An ``on_block`` overridden
+    #: on the *instance* ignores the declaration (conservative).
+    on_block_reads_addresses = True
+
     def attach(self, vm: "VirtualMachine") -> None:
         """Called once before the run starts."""
 
     def on_block(self, event: BlockEvent, machine: MachineModel) -> None:
         """Called after every block event has been consumed."""
+
+    def on_block_counts(
+        self, n_insns: int, block_pc: int, thread_id: int,
+        machine: MachineModel,
+    ) -> None:
+        """Narrow per-block hook for count-only policies (fast kernel).
+
+        A policy that sets ``on_block_reads_addresses = False`` may also
+        override this method with the same state updates as its
+        ``on_block``; the fast kernel then calls it instead of
+        allocating a :class:`BlockEvent` per block.  The reference
+        kernel always calls ``on_block``, so the two implementations
+        must be behaviourally identical — the differential equivalence
+        grid compares full run results (including policy decisions)
+        across kernels and catches any divergence.  The default is never
+        invoked: without an override the fast kernel falls back to
+        ``on_block`` with an empty-address event.
+        """
 
     def on_hotspot_detected(
         self, hotspot: HotspotInfo, vm: "VirtualMachine"

@@ -59,6 +59,8 @@ class StackBehavior(MemoryBehavior):
     L1D configuration — they model locals/spills.
     """
 
+    uses_iteration = False
+
     def __init__(self, span: int = 256):
         _require_positive("span", span)
         self.span = span
@@ -184,6 +186,8 @@ class WorkingSetBehavior(MemoryBehavior):
     (temporal locality); the remainder spread over the whole span.  The span
     determines which cache sizes the method is happy with.
     """
+
+    uses_iteration = False
 
     def __init__(self, span: int, locality: float = 0.5, offset: int = 0):
         _require_positive("span", span)
@@ -370,6 +374,7 @@ class PointerChaseBehavior(MemoryBehavior):
     """
 
     serialized = True
+    uses_iteration = False
 
     def __init__(self, span: int, offset: int = 0):
         _require_positive("span", span)
@@ -441,6 +446,9 @@ class MixedBehavior(MemoryBehavior):
         if total <= 0:
             raise ValueError("component weights must sum to a positive value")
         self.components = [(b, w / total) for b, w in components]
+        self.uses_iteration = any(
+            b.uses_iteration for b, _ in self.components
+        )
 
     @classmethod
     def from_kwargs(

@@ -363,11 +363,51 @@ class TestFusedClosureLockstep:
         )
         assert fast_cache._sets == ref_cache._sets
 
-    @given(behavior=fusable_behaviors)
-    @settings(max_examples=30, deadline=None)
-    def test_mixed_behavior_never_fuses(self, behavior):
-        mixed = MixedBehavior([(behavior, 1.0), (StackBehavior(), 1.0)])
-        assert compile_fused_block(mixed, 4, 2) is None
+    @given(
+        behavior=fusable_behaviors,
+        weight=st.floats(min_value=0.1, max_value=4.0),
+        n_loads=st.integers(min_value=0, max_value=10),
+        n_stores=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+        iteration=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_mixed_behavior_matches_reference_pair(
+        self, behavior, weight, n_loads, n_stores, seed, iteration
+    ):
+        """Two-phase mixed fusion: draws in ``generate`` order (per
+        component), cache transitions in ``access_many`` order (all
+        loads, then all stores) — stream, traffic, and state lockstep."""
+        mixed = MixedBehavior([(behavior, weight), (StackBehavior(), 1.0)])
+        fused = compile_fused_block(mixed, n_loads, n_stores)
+        assert fused is not None
+        ref_cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        fast_cache = Cache("c", 1 * KB, 64, 2, sizes=(1 * KB,))
+        ref_rng = random.Random(seed)
+        fast_rng = random.Random(seed)
+        frame_base, region_base = 0x1000_0000, 0x2000_0000
+        loads, stores = mixed.generate(
+            ref_rng, frame_base, region_base, iteration, n_loads, n_stores
+        )
+        result = ref_cache.access_many(loads, stores)
+        read_misses, write_misses, miss_lines, wb_lines = fused(
+            fast_rng, frame_base, region_base, iteration, fast_cache, _MISSING
+        )
+        assert fast_rng.getstate() == ref_rng.getstate()
+        assert (read_misses, write_misses) == (
+            result.read_misses, result.write_misses
+        )
+        assert (miss_lines or []) == result.miss_lines
+        assert (wb_lines or []) == result.writeback_lines
+        assert fast_cache._sets == ref_cache._sets
+
+    def test_oversized_mixed_blocks_keep_the_list_path(self):
+        """Mixes beyond the unroll budget stay unfused (no loop form
+        exists for the two-phase draw buffer)."""
+        mixed = MixedBehavior(
+            [(WorkingSetBehavior(512), 1.0), (StackBehavior(), 1.0)]
+        )
+        assert compile_fused_block(mixed, 20, 10) is None
 
 
 class TestCacheInvariantsUnderKernelPaths:
