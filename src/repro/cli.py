@@ -29,6 +29,7 @@ from repro.report import exhibits
 from repro.sim.config import ExperimentConfig
 from repro.sim.driver import SCHEMES, RunSpec
 from repro.sim.experiment import run_suite
+from repro.sim.options import ExecutionOptions
 from repro.workloads.specjvm import BENCHMARK_NAMES
 
 SUITE_EXHIBITS = {
@@ -113,26 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "default) or 'reference' (the readable interpreter); the two are "
         "bit-identical (tests/test_kernel_equivalence.py)",
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for simulations (default: 1, serial; "
-        "results are identical for any value)",
-    )
-    parser.add_argument(
-        "--store-dir",
-        default=None,
-        metavar="PATH",
-        help="persistent result-store directory (default: results/store, "
-        "or $REPRO_STORE_DIR)",
-    )
-    parser.add_argument(
-        "--no-store",
-        action="store_true",
-        help="disable the persistent result store (in-memory cache only)",
-    )
+    ExecutionOptions.add_arguments(parser)
     parser.add_argument(
         "--trace",
         default=None,
@@ -188,15 +170,12 @@ def make_config(args) -> ExperimentConfig:
     return config
 
 
-def configure_store(args) -> None:
+def configure_store(options: ExecutionOptions) -> None:
     """Apply ``--no-store`` / ``--store-dir`` to the experiment layer."""
     from repro.sim.experiment import set_default_store
-    from repro.sim.store import ResultStore
 
-    if args.no_store:
-        set_default_store(None)
-    elif args.store_dir is not None:
-        set_default_store(ResultStore(args.store_dir))
+    if options.no_store or options.store_dir is not None:
+        set_default_store(options.make_store())
 
 
 def make_fault_plan(args):
@@ -219,6 +198,7 @@ def dump_stats_json(args, engine, elapsed: float) -> None:
     payload = dataclasses.asdict(engine.stats)
     payload["elapsed_seconds"] = round(elapsed, 3)
     payload["jobs"] = engine.jobs
+    payload["backend"] = engine.pool.name
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.stats_json == "-":
         print(text)
@@ -247,16 +227,21 @@ def run_command(args) -> int:
         return 2
     tracing = args.trace is not None or args.metrics
     telemetry = Telemetry() if tracing else None
-    configure_store(args)
+    options = ExecutionOptions.from_args(args)
+    configure_store(options)
     # A traced run must observe live tuning decisions, so both cache
-    # layers are bypassed; an untraced run uses the normal layers.
+    # layers are bypassed and the cell runs serially in-process (worker
+    # telemetry would be invisible across a pool boundary); an untraced
+    # run uses the normal layers and the configured backend.
     engine = Engine(
-        jobs=1,
+        pool="serial" if tracing else options.resolved_backend(),
         store=None if tracing else get_default_store(),
         use_cache=not tracing,
         telemetry=telemetry,
         failure_policy=args.on_error,
         fault_plan=make_fault_plan(args),
+        chunk_size=options.chunk_size,
+        max_pool_rebuilds=options.max_pool_rebuilds,
     )
     config = make_config(args)
     start = perf_counter()
@@ -319,13 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(STATIC_EXHIBITS[args.exhibit]().rendered)
         return 0
 
-    configure_store(args)
+    options = ExecutionOptions.from_args(args)
+    configure_store(options)
     from repro.sim.experiment import make_engine
 
     engine = make_engine(
-        jobs=args.jobs,
         failure_policy=args.on_error,
         fault_plan=make_fault_plan(args),
+        options=options,
     )
     config = make_config(args)
     if args.exhibit == "quick":
@@ -389,7 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"(suite resolved in {elapsed:.0f}s: {stats.simulations} "
         f"simulated, {stats.memory_hits} memory hits, "
-        f"{stats.store_hits} store hits, jobs={args.jobs}{degraded})"
+        f"{stats.store_hits} store hits, "
+        f"backend={engine.pool.name}:{engine.jobs}{degraded})"
     )
     dump_stats_json(args, engine, elapsed)
     return 0

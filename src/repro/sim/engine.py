@@ -1,4 +1,5 @@
-"""Parallel experiment engine: fan experiment cells out across processes.
+"""Parallel experiment engine: fan experiment cells out across a
+pluggable execution backend.
 
 Every exhibit, bench, and CLI command ultimately needs the same thing: a
 batch of ``(benchmark, scheme, config)`` cells turned into
@@ -10,40 +11,46 @@ entry point for that.  It layers three mechanisms under a single
    exhibits in one process reuse the same runs — the role the old private
    ``_CACHE`` dict in ``repro.sim.experiment`` used to play;
 2. a **persistent on-disk store** (:class:`repro.sim.store.ResultStore`)
-   so *fresh processes* — another CLI invocation, another pytest worker —
-   reuse runs too;
-3. a **process pool** (``--jobs N``) with per-cell timeout and bounded
-   retry for the cells that actually have to simulate.
+   so *fresh processes* — another CLI invocation, another pytest worker,
+   another *host* — reuse runs too;
+3. an execution **backend** (:class:`repro.sim.pools.Pool`) with
+   per-cell timeout and bounded retry for the cells that actually have
+   to simulate.
 
 Results are deterministic: a cell's outcome depends only on its
-:class:`~repro.sim.driver.RunSpec`, never on scheduling, so the parallel
-path is bit-identical to the serial one.
+:class:`~repro.sim.driver.RunSpec`, never on scheduling or location, so
+every backend is bit-identical to serial (tests/test_backends.py).
 
-The process pool is **persistent and warm** (docs/INTERNALS.md §13):
-the first parallel batch spawns it with an initializer that pre-builds
-the batch's benchmarks and pre-decodes their programs — compiling every
-fused block closure into the worker's process-wide blockjit code cache
-before the first cell arrives — and later batches on the same engine
-reuse the live workers (``pool_reused`` telemetry) instead of paying
-spawn + warm-up again.  Cells are submitted in **chunks**: one pickled
-payload carries several cells plus the shared timeout/fault-plan, and
-workers memoise built benchmarks by name, so a 3-scheme sweep builds
-each benchmark once per worker rather than once per cell.  Call
+Backends (docs/INTERNALS.md §14): ``Engine(pool=...)`` accepts a
+backend spec string (``"serial"``, ``"local:4"``, ``"ssh:hostfile"``) or
+a constructed :class:`~repro.sim.pools.Pool`; the legacy ``jobs=N``
+parameter still resolves to ``local:N``.  The local process backend is
+**persistent and warm** (docs/INTERNALS.md §13): the first parallel
+batch spawns it with an initializer that pre-builds the batch's
+benchmarks and pre-decodes their programs — compiling every fused block
+closure into the worker's process-wide blockjit code cache before the
+first cell arrives — and later batches on the same engine reuse the
+live workers (``pool_reused`` telemetry) instead of paying spawn +
+warm-up again.  Cells are submitted in **chunks**: one pickled payload
+carries several cells plus the shared timeout/fault-plan, and workers
+memoise built benchmarks by name, so a 3-scheme sweep builds each
+benchmark once per worker rather than once per cell.  Call
 :meth:`Engine.close` (or use the engine as a context manager) to shut
-the pool down; a dropped engine cleans up in ``__del__``.
+the backend down; a dropped engine cleans up in ``__del__``.
 
 Graceful degradation (docs/INTERNALS.md §11): ``failure_policy``
 selects what a cell that exhausts its retry budget does to the batch —
 ``"raise"`` (default, legacy) aborts with :class:`CellExecutionError`,
 while ``"skip"`` and ``"partial"`` record a per-cell failure and keep
 serving the surviving cells (``"partial"`` additionally raises
-:class:`BatchExecutionError` when *no* cell succeeded).  Use
-:meth:`Engine.run_batch` to receive the per-cell
-:class:`CellOutcome` records.  A worker-process death
-(``BrokenProcessPool``) is recovered by rebuilding the pool and
-resubmitting the interrupted cells; after ``max_pool_rebuilds`` the
-engine degrades further to in-process serial execution.  Seeded fault
-injection for all of these paths lives in :mod:`repro.faults`.
+:class:`BatchExecutionError` when *no* cell succeeded).  A worker death
+(any exception in the backend's ``broken_exceptions``) is recovered —
+on backends whose capability flags include ``rebuild`` — by rebuilding
+the pool and resubmitting the interrupted cells; after
+``max_pool_rebuilds`` (or immediately, on backends without the
+capability) the engine degrades further to in-process serial execution.
+Seeded fault injection for all of these paths lives in
+:mod:`repro.faults`.
 
 Cells carrying live objects (an explicit ``policy`` instance, a
 ``preload_database``, a prebuilt benchmark) are executed serially in the
@@ -53,13 +60,10 @@ parent process — they are not guaranteed picklable and are never cached.
 from __future__ import annotations
 
 import math
-import pickle
 import random
-import signal
-import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import warnings
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -69,9 +73,10 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
-from repro.faults import FaultPlan, InjectedFault, corrupt_file
+from repro.faults import FaultPlan, corrupt_file
 from repro.obs.events import (
     BATCH_DEGRADED,
     CELL_DONE,
@@ -88,7 +93,11 @@ from repro.obs.events import (
     WORKER_CRASH,
     WORKER_WARMUP,
 )
-from repro.sim.driver import RunResult, RunSpec, execute
+from repro.sim.driver import RunResult, RunSpec
+from repro.sim.options import ExecutionOptions
+from repro.sim.pools import Pool, make_pool
+from repro.sim.pools.base import CellTimeout  # noqa: F401 — re-export
+from repro.sim.pools.worker import inject_cell_faults, run_with_alarm
 from repro.sim.store import ResultStore
 
 #: Where a cell's result came from (progress callbacks receive this).
@@ -104,16 +113,15 @@ FAILURE_POLICIES = ("raise", "skip", "partial")
 #: exhibit loop and the bench fixtures see each other's runs.
 _MEMORY_CACHE: Dict[Tuple[str, str, str], RunResult] = {}
 
+#: The deprecated ``run_batch`` shim warns once per process.
+_RUN_BATCH_WARNED = False
+
 
 def clear_memory_cache() -> int:
     """Drop every in-process cached result; returns the count dropped."""
     count = len(_MEMORY_CACHE)
     _MEMORY_CACHE.clear()
     return count
-
-
-class CellTimeout(Exception):
-    """A cell exceeded the engine's per-cell wall-clock budget."""
 
 
 class CellExecutionError(RuntimeError):
@@ -174,15 +182,23 @@ class CellOutcome:
 
 
 class BatchResult:
-    """Per-cell outcomes of one :meth:`Engine.run_batch` call, in order."""
+    """Per-cell outcomes of one :meth:`Engine.run` call, in order."""
 
     def __init__(self, outcomes: Sequence[CellOutcome]):
         self.outcomes: List[CellOutcome] = list(outcomes)
 
+    def values(self) -> List[Optional[RunResult]]:
+        """Results in cell order; ``None`` where a cell failed.
+
+        The old ``Engine.run(cells) -> list`` shape, kept as a
+        convenience: ``engine.run(cells).values()``.
+        """
+        return [outcome.result for outcome in self.outcomes]
+
     @property
     def results(self) -> List[Optional[RunResult]]:
-        """Results in cell order; ``None`` where a cell failed."""
-        return [outcome.result for outcome in self.outcomes]
+        """Alias of :meth:`values` (property form)."""
+        return self.values()
 
     @property
     def ok(self) -> List[CellOutcome]:
@@ -253,197 +269,8 @@ class CellProgress:
 ProgressCallback = Callable[[CellProgress], None]
 
 
-def _run_with_alarm(
-    spec: RunSpec,
-    timeout: Optional[float],
-    telemetry=None,
-    fault_plan: Optional[FaultPlan] = None,
-    on_unarmed: Optional[Callable[[], None]] = None,
-) -> RunResult:
-    """Execute a cell, bounded by SIGALRM when a timeout is requested.
-
-    SIGALRM interrupts pure-Python simulation loops reliably on POSIX; it
-    can only be armed from a main thread (worker processes always
-    qualify).  When a timeout was requested but cannot be armed, the cell
-    runs unbounded and ``on_unarmed`` is invoked so the caller can make
-    the disabled budget visible instead of silent.
-    """
-    if timeout is None or timeout <= 0:
-        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
-    if threading.current_thread() is not threading.main_thread():
-        if on_unarmed is not None:
-            on_unarmed()
-        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
-
-    def _on_alarm(signum, frame):
-        raise CellTimeout(
-            f"cell ({spec.benchmark_name!r}, {spec.scheme!r}) exceeded "
-            f"{timeout:.1f}s"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
-        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _inject_cell_faults(
-    plan: Optional[FaultPlan], spec: RunSpec, attempt: int
-) -> None:
-    """Raise the per-attempt engine faults a plan schedules for a cell."""
-    if plan is None:
-        return
-    key = (spec.benchmark_name, spec.scheme, attempt)
-    if plan.decide("cell_exception", key):
-        raise InjectedFault(
-            f"injected exception in cell "
-            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
-            f"attempt {attempt}"
-        )
-    if plan.decide("cell_timeout", key):
-        raise CellTimeout(
-            f"injected timeout in cell "
-            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
-            f"attempt {attempt}"
-        )
-
-
-# -- worker-process side ------------------------------------------------------
-#
-# Module globals below are per worker process (each worker gets its own
-# module state, whether forked or spawned); the parent never touches them.
-
-#: Built benchmarks memoised by name.  Safe to reuse across cells: a run
-#: never mutates a ``BuiltBenchmark`` — the kernels decode programs into
-#: per-VM tables and all run state lives in the VM/machine objects.
-_WORKER_BENCHES: Dict[str, object] = {}
-
-#: Warm-start statistics recorded by :func:`_pool_initializer`, shipped
-#: to the parent with the first chunk this worker completes, then cleared.
-_WORKER_WARMUP: Optional[Dict[str, object]] = None
-
-
-def _worker_built(benchmark):
-    """Worker-side memoised ``build_benchmark`` (str names only)."""
-    if not isinstance(benchmark, str):
-        return benchmark
-    built = _WORKER_BENCHES.get(benchmark)
-    if built is None:
-        from repro.workloads.specjvm import build_benchmark
-
-        built = _WORKER_BENCHES[benchmark] = build_benchmark(benchmark)
-    return built
-
-
-def _pool_initializer(benchmarks: Tuple[str, ...]) -> None:
-    """Warm one worker before it serves cells.
-
-    Pre-builds the batch's benchmarks and pre-decodes every program, which
-    compiles all fused block closures into this process's blockjit code
-    cache — so the first real cell starts simulating immediately instead
-    of paying program generation + codegen.  Best-effort by design: a
-    failure here must not poison the pool (the cell itself will rebuild
-    and surface the real error through the retry machinery).
-    """
-    global _WORKER_WARMUP
-    from repro.vm import blockjit
-    from repro.vm.jit import BlockDecoder
-
-    started = time.perf_counter()
-    compiles_before = blockjit.CACHE_STATS["compiles"]
-    stats: Dict[str, object] = {"benchmarks": 0, "blocks": 0, "errors": 0}
-    for name in benchmarks:
-        try:
-            built = _worker_built(name)
-            decoder = BlockDecoder(built.program)
-            for method in built.program.methods.values():
-                stats["blocks"] += len(decoder.table(method))
-            stats["benchmarks"] += 1
-        except Exception:
-            stats["errors"] += 1
-    stats["fused_compiles"] = (
-        blockjit.CACHE_STATS["compiles"] - compiles_before
-    )
-    stats["warm_s"] = round(time.perf_counter() - started, 6)
-    _WORKER_WARMUP = stats
-
-
-def _picklable(error: BaseException) -> BaseException:
-    """The error itself if it survives pickling, else a repr stand-in.
-
-    Chunk outcomes travel back to the parent in one pickled payload; one
-    unpicklable exception must degrade to a readable substitute instead
-    of taking the whole chunk's results down with it.
-    """
-    try:
-        pickle.loads(pickle.dumps(error))
-        return error
-    except Exception:
-        return RuntimeError(repr(error))
-
-
-def _pool_worker_chunk(
-    payload: Tuple[
-        Tuple[Tuple[int, RunSpec, int], ...],
-        Optional[float],
-        Optional[FaultPlan],
-    ]
-) -> Tuple[Optional[Dict[str, object]], List[Tuple[int, str, object]]]:
-    """Top-level chunk entry (must be importable for pickling).
-
-    ``payload`` is ``(cells, timeout, plan)`` with ``cells`` a tuple of
-    ``(index, spec, attempt)`` — the timeout and the fault plan are
-    pickled once per chunk instead of once per cell.  Returns
-    ``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
-    or ``(index, "error", error)``; per-cell failures are *returned*, not
-    raised, so one bad cell cannot discard its chunk-mates' finished
-    work.  A worker-crash injection still hard-exits the process, so the
-    parent observes ``BrokenProcessPool`` exactly like a segfaulting or
-    OOM-killed worker.
-    """
-    global _WORKER_WARMUP
-    cells, timeout, plan = payload
-    outcomes: List[Tuple[int, str, object]] = []
-    for index, spec, attempt in cells:
-        if plan is not None and plan.decide(
-            "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
-        ):
-            import os
-
-            os._exit(17)
-        try:
-            _inject_cell_faults(plan, spec, attempt)
-            spec.benchmark = _worker_built(spec.benchmark)
-            outcomes.append(
-                (index, "ok", _run_with_alarm(spec, timeout, fault_plan=plan))
-            )
-        except Exception as error:  # noqa: BLE001 — parent retries
-            outcomes.append((index, "error", _picklable(error)))
-    warmup, _WORKER_WARMUP = _WORKER_WARMUP, None
-    return warmup, outcomes
-
-
-def _shutdown_pool(pool: ProcessPoolExecutor, fail_fast: bool) -> None:
-    """Shut a pool down; fail-fast drops pending work and does not wait.
-
-    ``cancel_futures`` exists from Python 3.9; on 3.8 the guard degrades
-    to a plain no-wait shutdown (pending cells still run, but the caller
-    is no longer blocked on them).
-    """
-    if not fail_fast:
-        pool.shutdown(wait=True)
-        return
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except TypeError:  # pragma: no cover — Python 3.8 fallback
-        pool.shutdown(wait=False)
-
-
 class _PoolBroken(Exception):
-    """Internal signal: the process pool died; these cells were in flight."""
+    """Internal signal: the backend died; these cells were in flight."""
 
     def __init__(self, interrupted: List[int], cause: BaseException):
         super().__init__(f"pool broken with {len(interrupted)} cells in flight")
@@ -458,7 +285,18 @@ class Engine:
     ----------
     jobs:
         Worker processes for cells that must simulate.  ``1`` (default)
-        runs everything in the calling process.
+        runs everything in the calling process; ``N > 1`` is shorthand
+        for ``pool="local:N"``.
+    pool:
+        Execution backend: a spec string resolved through
+        :func:`repro.sim.pools.make_pool` (``"serial"``, ``"local:4"``,
+        ``"ssh:hostfile"``, ``"ssh-loopback:2"``) or an already
+        constructed :class:`~repro.sim.pools.Pool`.  Overrides ``jobs``.
+    options:
+        An :class:`~repro.sim.options.ExecutionOptions` bundle.  Knobs
+        it covers (backend/jobs, chunk_size, max_pool_rebuilds, store)
+        are taken from it unless the corresponding constructor argument
+        was passed explicitly.
     store:
         A :class:`ResultStore` for cross-process persistence, or ``None``
         to keep results in memory only.
@@ -475,17 +313,18 @@ class Engine:
         the batch with :class:`CellExecutionError` — the legacy
         contract.  ``"skip"``: the failure is recorded as a
         :class:`CellOutcome` and the batch keeps going; ``run()``
-        returns ``None`` in that cell's slot.  ``"partial"``: like
-        ``"skip"``, but a batch in which *every* cell failed raises
+        leaves ``None`` in that cell's ``values()`` slot.  ``"partial"``:
+        like ``"skip"``, but a batch in which *every* cell failed raises
         :class:`BatchExecutionError`.
     retry_backoff:
         Base of the exponential backoff slept before each retry
         (seconds; ``attempt n`` waits ``base * 2**(n-1)``, jittered
         ±50 %, capped at 30 s).  ``0`` (default) disables backoff.
     max_pool_rebuilds:
-        How many times a batch may rebuild a broken process pool
-        (worker crash recovery) before degrading to in-process serial
-        execution for the interrupted cells.
+        How many times a batch may rebuild a broken backend (worker
+        crash recovery) before degrading to in-process serial execution
+        for the interrupted cells.  Backends without the ``rebuild``
+        capability degrade immediately.
     fault_plan:
         Optional :class:`repro.faults.FaultPlan`.  ``None`` (default)
         injects nothing and adds no overhead.  A plan whose sites
@@ -506,19 +345,21 @@ class Engine:
         ``cell_failed``, ``batch_degraded``, ``timeout_disabled``);
         cells executed *serially* additionally stream their
         simulation-side tuning events into the same session.  Pool
-        workers run in other processes, so their simulation events are
-        not captured — trace a single cell with ``jobs=1`` for the full
-        timeline.
+        workers run in other processes (possibly other hosts), so their
+        simulation events are not captured — trace a single cell with
+        the serial backend for the full timeline.
     chunk_size:
         Cells per pool submission.  ``None`` (default) picks
-        ``ceil(cells / (jobs * 4))`` capped at 8 — enough chunks to keep
-        every worker busy for several rounds while amortising pickling,
-        without collapsing the crash-retry granularity of small batches.
-        Retries are always resubmitted as single-cell chunks.
+        ``ceil(cells / (workers * 4))`` capped at 8 — enough chunks to
+        keep every worker busy for several rounds while amortising
+        pickling, without collapsing the crash-retry granularity of
+        small batches.  Retries are always resubmitted as single-cell
+        chunks.
     warm_start:
-        When True (default), the pool initializer pre-builds the first
-        batch's benchmarks and pre-decodes their programs in every
-        worker (see docs/INTERNALS.md §13); the warm-up is reported via
+        When True (default), backends with the ``warm_start``
+        capability pre-build the first batch's benchmarks and
+        pre-decode their programs in every worker at spawn (see
+        docs/INTERNALS.md §13); the warm-up is reported via
         ``worker_warmup`` telemetry events.  Later batches reuse the
         live pool and the workers' memoised benchmarks.
     """
@@ -540,13 +381,30 @@ class Engine:
         telemetry=None,
         chunk_size: Optional[int] = None,
         warm_start: bool = True,
+        pool: Union[str, Pool, None] = None,
+        options: Optional[ExecutionOptions] = None,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
                 f"failure_policy must be one of {FAILURE_POLICIES}, got "
                 f"{failure_policy!r}"
             )
-        self.jobs = max(1, int(jobs))
+        if options is not None:
+            # Explicit constructor arguments win; anything left at its
+            # default is taken from the options bundle (API.md has the
+            # full mapping).
+            if pool is None and jobs == 1:
+                pool = options.resolved_backend()
+            if chunk_size is None:
+                chunk_size = options.chunk_size
+            if max_pool_rebuilds == 3:
+                max_pool_rebuilds = options.max_pool_rebuilds
+            if store is None:
+                store = options.make_store()
+        if pool is None:
+            pool = f"local:{jobs}" if jobs > 1 else "serial"
+        self.pool: Pool = make_pool(pool) if isinstance(pool, str) else pool
+        self.jobs = self.pool.workers if self.pool.capabilities.parallel else 1
         self.store = store
         self.use_cache = use_cache
         self.cell_timeout = cell_timeout
@@ -567,23 +425,18 @@ class Engine:
         self.warm_start = bool(warm_start)
         self.stats = EngineStats()
         self._unarmed_warned = False
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_warmed: Tuple[str, ...] = ()
         self._store_pending: List[Tuple[Tuple[str, str, str], RunResult]] = []
 
     # -- public API --------------------------------------------------------
 
-    def run(self, cells: Sequence[RunSpec]) -> List[RunResult]:
-        """Resolve every cell (cache, store, or simulation), in order.
+    def run(self, cells: Sequence[RunSpec]) -> "BatchResult":
+        """Resolve every cell (cache, store, or backend) into a
+        :class:`BatchResult` of per-cell :class:`CellOutcome`\\ s.
 
+        ``run(cells).values()`` gives the old list-of-results shape.
         Under ``failure_policy="skip"``/``"partial"`` a failed cell's
-        slot holds ``None``; use :meth:`run_batch` for the full per-cell
-        outcome records.
+        ``values()`` slot holds ``None``.
         """
-        return self.run_batch(cells).results  # type: ignore[return-value]
-
-    def run_batch(self, cells: Sequence[RunSpec]) -> "BatchResult":
-        """Like :meth:`run`, returning per-cell :class:`CellOutcome`\\ s."""
         specs = list(cells)
         total = len(specs)
         results: List[Optional[RunResult]] = [None] * total
@@ -655,17 +508,36 @@ class Engine:
                 raise BatchExecutionError(batch)
         return batch
 
+    def run_batch(self, cells: Sequence[RunSpec]) -> "BatchResult":
+        """Deprecated alias of :meth:`run` (they merged; same return).
+
+        .. deprecated::
+            Call ``run(cells)`` — it returns the same
+            :class:`BatchResult` now.
+        """
+        global _RUN_BATCH_WARNED
+        if not _RUN_BATCH_WARNED:
+            _RUN_BATCH_WARNED = True
+            warnings.warn(
+                "Engine.run_batch() is deprecated; Engine.run() returns "
+                "the same BatchResult (use .values() for the old "
+                "list-of-results shape)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.run(cells)
+
     def run_one(self, spec: RunSpec) -> RunResult:
         """Single-cell convenience wrapper around :meth:`run`."""
-        return self.run([spec])[0]
+        return self.run([spec]).values()[0]
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent).
+        """Shut down the execution backend (idempotent).
 
         Waits for idle shutdown; the engine stays usable — the next
-        parallel batch simply spawns (and re-warms) a fresh pool.
+        parallel batch simply starts (and re-warms) the backend again.
         """
-        self._discard_pool(fail_fast=False)
+        self.pool.close(fail_fast=False)
 
     def __enter__(self) -> "Engine":
         return self
@@ -675,7 +547,7 @@ class Engine:
 
     def __del__(self) -> None:  # pragma: no cover — GC timing
         try:
-            self._discard_pool(fail_fast=True)
+            self.pool.close(fail_fast=True)
         except Exception:
             pass
 
@@ -781,7 +653,9 @@ class Engine:
         """Terminal failure of one cell under skip/partial policies."""
         if isinstance(error, CellTimeout):
             status = "timeout"
-        elif isinstance(error, (BrokenProcessPool, _PoolBroken)):
+        elif isinstance(
+            error, (_PoolBroken,) + self.pool.broken_exceptions
+        ):
             status = "crashed"
         else:
             status = "failed"
@@ -840,7 +714,10 @@ class Engine:
             i for i in pending if self._pool_eligible(specs[i])
         ]
         serial = [i for i in pending if i not in set(pool_eligible)]
-        if self.jobs > 1 and len(pool_eligible) > 1:
+        if (
+            self.pool.capabilities.parallel
+            and len(pool_eligible) > 1
+        ):
             self._run_pool(specs, pool_eligible, results)
         else:
             serial = sorted(set(serial) | set(pool_eligible))
@@ -878,8 +755,8 @@ class Engine:
                 if self.runner is not None:
                     result = self.runner(spec)
                 else:
-                    _inject_cell_faults(self.fault_plan, spec, attempts)
-                    result = _run_with_alarm(
+                    inject_cell_faults(self.fault_plan, spec, attempts)
+                    result = run_with_alarm(
                         spec,
                         self.cell_timeout,
                         telemetry if telemetry.enabled else None,
@@ -932,11 +809,13 @@ class Engine:
         indices: List[int],
         results: List[Optional[RunResult]],
     ) -> None:
-        """Pool fan-out with worker-crash recovery.
+        """Backend fan-out with worker-crash recovery.
 
         Attempt counters, display lanes, and submission ordinals survive
         pool rebuilds, so a cell's retry budget is global across crashes
-        and the telemetry lanes stay stable.
+        and the telemetry lanes stay stable.  Backends without the
+        ``rebuild`` capability degrade straight to serial on the first
+        crash.
         """
         attempts: Dict[int, int] = {i: 0 for i in indices}
         lanes: Dict[int, int] = {}
@@ -958,12 +837,16 @@ class Engine:
                     return
                 rebuilds += 1
                 self.stats.pool_rebuilds += 1
-                if rebuilds > self.max_pool_rebuilds:
-                    # The pool keeps dying: degrade to in-process serial
-                    # execution for whatever is left.  Worker-crash
-                    # injection never fires in the parent process, and a
-                    # genuinely poisoned environment at least fails with
-                    # an attributable per-cell error.
+                if (
+                    rebuilds > self.max_pool_rebuilds
+                    or not self.pool.capabilities.rebuild
+                ):
+                    # The backend keeps dying (or cannot be rebuilt):
+                    # degrade to in-process serial execution for
+                    # whatever is left.  Worker-crash injection never
+                    # fires in the parent process, and a genuinely
+                    # poisoned environment at least fails with an
+                    # attributable per-cell error.
                     for index in to_run:
                         self._run_serial(specs[index], index, results)
                     return
@@ -981,6 +864,7 @@ class Engine:
         self.stats.worker_crashes += 1
         telemetry.emit_wall(
             WORKER_CRASH,
+            backend=self.pool.name,
             interrupted=len(broken.interrupted),
             error=repr(broken.cause)[:200],
         )
@@ -1011,45 +895,41 @@ class Engine:
 
     def _ensure_pool(
         self, specs: Sequence[RunSpec], indices: List[int]
-    ) -> ProcessPoolExecutor:
-        """The live persistent pool, spawning (and warming) one if needed."""
+    ) -> Pool:
+        """The live backend, starting (and warming) it if needed."""
         telemetry = self.telemetry
-        if self._pool is not None:
-            self.stats.pool_reuses += 1
-            telemetry.emit_wall(
-                POOL_REUSED, jobs=self.jobs, warmed=list(self._pool_warmed)
-            )
-            telemetry.metrics.counter("engine.pool_reuses").inc()
-            return self._pool
+        pool = self.pool
         warm: Dict[str, None] = {}
-        if self.warm_start:
+        if self.warm_start and pool.capabilities.warm_start:
             for index in indices:
                 warm.setdefault(specs[index].benchmark_name, None)
-        self._pool_warmed = tuple(warm)
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_pool_initializer,
-            initargs=(self._pool_warmed,),
-        )
-        self.stats.pools_spawned += 1
-        telemetry.emit_wall(
-            POOL_SPAWNED, jobs=self.jobs, warmed=list(self._pool_warmed)
-        )
-        telemetry.metrics.counter("engine.pools_spawned").inc()
-        return self._pool
-
-    def _discard_pool(self, fail_fast: bool) -> None:
-        """Drop the persistent pool (crash recovery, close, teardown)."""
-        pool, self._pool = self._pool, None
-        self._pool_warmed = ()
-        if pool is not None:
-            _shutdown_pool(pool, fail_fast)
+        spawned = pool.start(tuple(warm))
+        if spawned:
+            self.stats.pools_spawned += 1
+            telemetry.emit_wall(
+                POOL_SPAWNED,
+                backend=pool.name,
+                jobs=pool.workers,
+                warmed=list(warm),
+            )
+            telemetry.metrics.counter("engine.pools_spawned").inc()
+        else:
+            self.stats.pool_reuses += 1
+            telemetry.emit_wall(
+                POOL_REUSED,
+                backend=pool.name,
+                jobs=pool.workers,
+                warmed=list(getattr(pool, "warmed", ())),
+            )
+            telemetry.metrics.counter("engine.pool_reuses").inc()
+        return pool
 
     def _chunks(self, indices: List[int]) -> List[List[int]]:
         """Deterministic chunk partition of one round's submissions."""
         size = self.chunk_size
         if size is None:
-            size = min(8, max(1, math.ceil(len(indices) / (self.jobs * 4))))
+            workers = max(1, self.pool.workers)
+            size = min(8, max(1, math.ceil(len(indices) / (workers * 4))))
         return [
             indices[start:start + size]
             for start in range(0, len(indices), size)
@@ -1064,22 +944,24 @@ class Engine:
         lanes: Dict[int, int],
         submitted_at: Dict[int, float],
     ) -> None:
-        """One round against the persistent pool; raises
+        """One round against the persistent backend; raises
         :class:`_PoolBroken` on worker death.
 
         Cells go out in chunks (shared timeout/plan payload, per-cell
         outcomes back); retries are resubmitted as single-cell chunks so
         a flaky cell cannot hold healthy chunk-mates hostage.  Any
-        failure path discards the persistent pool — it may hold in-flight
-        work of a poisoned batch and must not leak into the next one.
+        failure path discards the backend fail-fast — it may hold
+        in-flight work of a poisoned batch and must not leak into the
+        next one.
         """
         telemetry = self.telemetry
         pool = self._ensure_pool(specs, indices)
+        broken_types = pool.broken_exceptions
         futures: Dict = {}
         try:
 
             def _submit(chunk: List[int]) -> None:
-                lane = self._submissions % self.jobs
+                lane = self._submissions % max(1, pool.workers)
                 self._submissions += 1
                 cells = []
                 for index in chunk:
@@ -1096,9 +978,8 @@ class Engine:
                     )
                     cells.append((index, specs[index], attempts[index]))
                 futures[
-                    pool.submit(
-                        _pool_worker_chunk,
-                        (tuple(cells), self.cell_timeout, self.fault_plan),
+                    pool.submit_chunk(
+                        (tuple(cells), self.cell_timeout, self.fault_plan)
                     )
                 ] = list(chunk)
 
@@ -1114,7 +995,7 @@ class Engine:
             for chunk in self._chunks(indices):
                 try:
                     _submit(chunk)
-                except BrokenProcessPool as error:
+                except broken_types as error:
                     raise _broken(
                         chunk, error
                     ) from error  # pool died mid-submission
@@ -1125,7 +1006,7 @@ class Engine:
                 for future in finished:
                     chunk = futures.pop(future)
                     chunk_error = future.exception()
-                    if isinstance(chunk_error, BrokenProcessPool):
+                    if isinstance(chunk_error, broken_types):
                         raise _broken(chunk, chunk_error) from chunk_error
                     if chunk_error is not None:
                         # The chunk itself failed (not one of its cells —
@@ -1192,14 +1073,14 @@ class Engine:
                     for index in retry:
                         try:
                             _submit([index])
-                        except BrokenProcessPool as pool_error:
+                        except broken_types as pool_error:
                             raise _broken(
                                 [index], pool_error
                             ) from pool_error
         except BaseException:
             # Fatal exits (CellExecutionError, _PoolBroken) must not sit
             # waiting for in-flight cells of a poisoned batch, and the
-            # pool itself is suspect: drop it fail-fast.  The clean exit
-            # keeps the warm pool alive for the next batch.
-            self._discard_pool(fail_fast=True)
+            # backend itself is suspect: drop it fail-fast.  The clean
+            # exit keeps the warm pool alive for the next batch.
+            self.pool.close(fail_fast=True)
             raise

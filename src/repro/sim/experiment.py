@@ -54,8 +54,16 @@ def make_engine(
     progress: Optional[ProgressCallback] = None,
     failure_policy: str = "raise",
     fault_plan=None,
+    options=None,
 ) -> Engine:
-    """An engine wired to the shared memory cache and default store."""
+    """An engine wired to the shared memory cache and default store.
+
+    ``options`` (an :class:`repro.sim.options.ExecutionOptions`) carries
+    the backend spec and chunking knobs; the persistent layer stays the
+    module default unless the options disable it (``no_store``) or point
+    elsewhere (``store_dir`` — applied via :func:`set_default_store` by
+    the CLI before this is called).
+    """
     return Engine(
         jobs=jobs,
         store=get_default_store(),
@@ -63,6 +71,11 @@ def make_engine(
         progress=progress,
         failure_policy=failure_policy,
         fault_plan=fault_plan,
+        pool=None if options is None else options.resolved_backend(),
+        chunk_size=None if options is None else options.chunk_size,
+        max_pool_rebuilds=(
+            3 if options is None else options.max_pool_rebuilds
+        ),
     )
 
 
@@ -166,7 +179,7 @@ def compare_schemes(
     config = config or ExperimentConfig()
     engine = engine or make_engine(use_cache=use_cache)
     cells = [RunSpec(benchmark, scheme, config) for scheme in SCHEMES]
-    batch = engine.run_batch(cells)
+    batch = engine.run(cells)
     if batch.degraded:
         # The comparison needs all three schemes; under "skip"/"partial"
         # a missing cell makes it meaningless, so refuse cleanly rather
@@ -179,7 +192,7 @@ def compare_schemes(
             f"cannot compare schemes for {benchmark!r}; "
             f"failed cell(s): {failed}",
         )
-    baseline, bbv, hotspot = batch.results
+    baseline, bbv, hotspot = batch.values()
     return BenchmarkComparison(
         benchmark=benchmark,
         baseline=baseline,
@@ -218,8 +231,8 @@ def run_suite(
         for name in names
         for scheme in SCHEMES
     ]
-    batch = engine.run_batch(cells)
-    runs = batch.results
+    batch = engine.run(cells)
+    runs = batch.values()
     results = SuiteResults()
     for position, name in enumerate(names):
         baseline, bbv, hotspot = runs[3 * position:3 * position + 3]

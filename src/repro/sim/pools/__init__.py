@@ -1,0 +1,132 @@
+"""Pluggable execution backends behind the :class:`Pool` API.
+
+One registry maps backend *specs* — the strings ``Engine(pool=...)``,
+:class:`repro.sim.options.ExecutionOptions`, and the CLI's
+``--backend`` all accept — to concrete pools::
+
+    serial              in-process reference backend
+    local[:N]           warm persistent process pool, N workers
+    ssh:HOSTFILE        per-host warm workers over ssh (one host[:slots]
+                        per hostfile line)
+    ssh-loopback[:N]    SSHPool wire protocol without sshd (CI/tests)
+
+``make_pool("local:4")`` returns the pool; ``register_backend`` adds
+new ones (the factory receives the text after the first ``:``, or
+``None``).  See docs/INTERNALS.md §14 for the backend contract.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.pools.base import (
+    CellTimeout,
+    ChunkPayload,
+    Pool,
+    PoolBrokenError,
+    PoolCapabilities,
+    completed_future,
+)
+from repro.sim.pools.local import LocalProcessPool, SerialPool
+from repro.sim.pools.ssh import (
+    SSHPool,
+    loopback_transport,
+    parse_hostfile,
+    ssh_transport,
+)
+
+__all__ = [
+    "CellTimeout",
+    "ChunkPayload",
+    "LocalProcessPool",
+    "Pool",
+    "PoolBrokenError",
+    "PoolCapabilities",
+    "SSHPool",
+    "SerialPool",
+    "available_backends",
+    "completed_future",
+    "loopback_transport",
+    "make_pool",
+    "parse_backend_spec",
+    "parse_hostfile",
+    "register_backend",
+    "ssh_transport",
+]
+
+PoolFactory = Callable[[Optional[str]], Pool]
+
+_REGISTRY: Dict[str, PoolFactory] = {}
+
+
+def register_backend(name: str, factory: PoolFactory) -> None:
+    """Register (or replace) a backend under a spec prefix."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def parse_backend_spec(spec: str) -> "tuple[str, Optional[str]]":
+    """Split ``name[:arg]``; the arg keeps any further colons intact."""
+    name, sep, arg = spec.partition(":")
+    return name.strip(), (arg if sep else None)
+
+
+def make_pool(spec: str) -> Pool:
+    """Resolve a backend spec (``local:4``, ``ssh:hosts.txt``, …)."""
+    name, arg = parse_backend_spec(spec)
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; known: "
+            f"{', '.join(available_backends())}"
+        )
+    return factory(arg)
+
+
+def _int_arg(arg: Optional[str], default: int, spec: str) -> int:
+    if arg is None or arg == "":
+        return default
+    try:
+        return max(1, int(arg))
+    except ValueError:
+        raise ValueError(
+            f"backend spec {spec!r} wants an integer worker count, "
+            f"got {arg!r}"
+        ) from None
+
+
+def _make_serial(arg: Optional[str]) -> Pool:
+    if arg:
+        raise ValueError("the serial backend takes no argument")
+    return SerialPool()
+
+
+def _make_local(arg: Optional[str]) -> Pool:
+    return LocalProcessPool(
+        workers=_int_arg(arg, os.cpu_count() or 2, f"local:{arg}")
+    )
+
+
+def _make_ssh(arg: Optional[str]) -> Pool:
+    if not arg:
+        raise ValueError(
+            "the ssh backend needs a hostfile: --backend ssh:HOSTFILE"
+        )
+    return SSHPool(hosts=arg)
+
+
+def _make_ssh_loopback(arg: Optional[str]) -> Pool:
+    workers = _int_arg(arg, 2, f"ssh-loopback:{arg}")
+    return SSHPool(
+        hosts=[("loopback", workers)], transport=loopback_transport
+    )
+
+
+register_backend("serial", _make_serial)
+register_backend("local", _make_local)
+register_backend("ssh", _make_ssh)
+register_backend("ssh-loopback", _make_ssh_loopback)

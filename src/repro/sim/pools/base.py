@@ -1,0 +1,155 @@
+"""The ``Pool`` backend contract (docs/INTERNALS.md §14).
+
+A :class:`Pool` turns pickled **chunks** of experiment cells into
+per-cell outcomes, somewhere — in the calling process
+(:class:`~repro.sim.pools.local.SerialPool`), in warm local worker
+processes (:class:`~repro.sim.pools.local.LocalProcessPool`), or on a
+fleet of remote hosts (:class:`~repro.sim.pools.ssh.SSHPool`).  The
+engine never cares which: it speaks only this interface, and the
+differential grid proves every backend bit-identical to serial.
+
+The chunk protocol is the one the engine has always used internally
+(:func:`repro.sim.pools.worker.run_chunk`): a payload of
+``(cells, timeout, fault_plan)`` with ``cells`` a tuple of
+``(index, spec, attempt)`` triples, answered by
+``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
+or ``(index, "error", exception)``.  Per-cell failures are *returned*,
+never raised — a raised exception from a chunk means the transport or
+the worker itself died.
+
+Capability flags tell the engine which degradation semantics apply:
+
+``parallel``
+    The pool fans cells out beyond the calling thread; the engine
+    routes eligible cells through :meth:`submit_chunk`.  A
+    non-parallel pool makes the engine run cells on its in-process
+    serial path instead (which streams simulation telemetry and can
+    arm SIGALRM timeouts — things a worker boundary hides).
+``rebuild``
+    A dead worker (``broken_exceptions``) can be recovered by
+    :meth:`rebuild`; the engine retries interrupted cells against the
+    rebuilt pool up to ``max_pool_rebuilds`` times before degrading to
+    serial.  Pools without this capability degrade straight to serial
+    on the first crash.
+``remote``
+    Results cross a host boundary; the engine knows worker-side
+    telemetry and process-global caches (blockjit) are invisible.
+``warm_start``
+    :meth:`start`'s ``warm_benchmarks`` actually pre-builds benchmarks
+    in the workers (reported via ``worker_warmup`` telemetry riding the
+    first chunk each worker answers).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+#: One submitted cell: (batch index, RunSpec, attempt number).
+ChunkCell = Tuple[int, object, int]
+#: What travels to a worker: (cells, timeout, fault_plan).
+ChunkPayload = Tuple[Tuple[ChunkCell, ...], Optional[float], Optional[object]]
+
+
+class CellTimeout(Exception):
+    """A cell exceeded the engine's per-cell wall-clock budget.
+
+    Defined here (not in the engine) because workers raise it on the
+    far side of a pool boundary; ``repro.sim.engine`` re-exports it.
+    """
+
+
+class PoolBrokenError(RuntimeError):
+    """A pool's transport or worker died (analogue of BrokenProcessPool).
+
+    Backends whose native broken-worker signal is not an exception type
+    of their own (e.g. an SSH pipe closing) raise this; the engine
+    treats anything in :attr:`Pool.broken_exceptions` as a crash and
+    runs its rebuild/degrade machinery.
+    """
+
+
+@dataclass(frozen=True)
+class PoolCapabilities:
+    """What degradation/warm-up semantics a backend supports."""
+
+    parallel: bool = True
+    rebuild: bool = True
+    remote: bool = False
+    warm_start: bool = True
+
+
+class Pool:
+    """Abstract execution backend; see the module docstring for the
+    contract.  Concrete pools register under a spec prefix via
+    :func:`repro.sim.pools.register_backend`."""
+
+    #: Short backend name, also the spec prefix (``local``, ``serial``,
+    #: ``ssh``); surfaced in telemetry events.
+    name: str = "abstract"
+    capabilities: PoolCapabilities = PoolCapabilities()
+    #: Exception types (raised from :meth:`submit_chunk` or set on its
+    #: future) that mean "the pool died", not "the cell failed".
+    broken_exceptions: Tuple[type, ...] = (PoolBrokenError,)
+
+    #: Worker slots (parallel width).  1 for serial.
+    workers: int = 1
+
+    def start(self, warm_benchmarks: Sequence[str] = ()) -> bool:
+        """Spawn workers if not already live; True when a spawn happened.
+
+        Idempotent: a live pool returns False and ignores
+        ``warm_benchmarks`` (warm-up happens at spawn, once per worker).
+        """
+        raise NotImplementedError
+
+    def submit_chunk(self, payload: ChunkPayload) -> "Future":
+        """Submit one chunk; the future resolves to ``(warmup, outcomes)``.
+
+        The pool must be started.  Raises one of
+        :attr:`broken_exceptions` (or sets it on the future) when the
+        pool is dead.
+        """
+        raise NotImplementedError
+
+    def rebuild(self, warm_benchmarks: Sequence[str] = ()) -> None:
+        """Replace dead workers with fresh ones (crash recovery).
+
+        Only meaningful when ``capabilities.rebuild``; the default
+        tears everything down and starts again.
+        """
+        self.close(fail_fast=True)
+        self.start(warm_benchmarks)
+
+    def close(self, fail_fast: bool = False) -> None:
+        """Shut workers down (idempotent; :meth:`start` revives the pool).
+
+        ``fail_fast`` drops pending work without waiting — used when the
+        pool is suspect (crash recovery, batch abort, interpreter
+        teardown).
+        """
+        raise NotImplementedError
+
+    @property
+    def alive(self) -> bool:
+        """True between a successful :meth:`start` and :meth:`close`."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "Pool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "closed"
+        return f"{type(self).__name__}(workers={self.workers}, {state})"
+
+
+def completed_future(value) -> "Future":
+    """A pre-resolved future (serial pools answer synchronously)."""
+    future: Future = Future()
+    future.set_result(value)
+    return future

@@ -1,0 +1,306 @@
+"""Multi-host SSH backend: per-host warm workers over framed pickles.
+
+:class:`SSHPool` fans chunks out to worker processes reached through a
+*transport* — by default ``ssh`` (so one warm store can be fed from
+many hosts), or the sshd-less :func:`loopback_transport` that launches
+the same worker module locally (used by the conformance suite and CI,
+where no sshd exists).  Modeled on the ``Pool``/``ProcessPool``/
+``PrunPool`` hierarchy of vusec's instrumentation-infra: the engine
+sees one ``Pool``, the transport is a detail.
+
+Host lists come from an iterable of host specs or a *hostfile* (one
+``host[:slots]`` per line, ``#`` comments); each slot is one persistent
+worker process.  Source sync is explicit: :meth:`SSHPool.push_sources`
+builds and runs per-host ``rsync -az`` commands when ``remote_root`` is
+configured (start() invokes it once, before spawning workers).
+
+Failure semantics: a worker whose pipe closes mid-request marks the
+whole pool broken (the analogue of ``BrokenProcessPool``), the engine
+rebuilds through :meth:`Pool.rebuild` and resubmits interrupted cells —
+capability flags ``rebuild=True, remote=True``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.pools.base import (
+    ChunkPayload,
+    Pool,
+    PoolBrokenError,
+    PoolCapabilities,
+)
+from repro.sim.pools.wire import read_frame, write_frame
+
+Transport = Callable[[str], List[str]]
+
+
+def ssh_transport(host: str) -> List[str]:
+    """Default transport: non-interactive ``ssh`` to the host."""
+    return ["ssh", "-o", "BatchMode=yes", host]
+
+
+def loopback_transport(host: str) -> List[str]:
+    """Fake transport: run the worker locally, no sshd involved.
+
+    The empty prefix makes :class:`SSHPool` exec the worker module with
+    the current interpreter — the full wire protocol (framed pickles,
+    warm-up, crash-at-EOF) is exercised without any network.
+    """
+    return []
+
+
+def parse_hostfile(path: Union[str, Path]) -> List[Tuple[str, int]]:
+    """``host[:slots]`` per line, ``#`` comments; returns (host, slots)."""
+    hosts: List[Tuple[str, int]] = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        host, sep, slots = line.rpartition(":")
+        if sep and slots.isdigit():
+            hosts.append((host, max(1, int(slots))))
+        else:
+            hosts.append((line, 1))
+    if not hosts:
+        raise ValueError(f"hostfile {path} names no hosts")
+    return hosts
+
+
+class _SSHWorker:
+    """One persistent worker process behind a transport."""
+
+    def __init__(self, host: str, slot: int, command: List[str], env=None):
+        self.host = host
+        self.slot = slot
+        self.proc = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+
+    def request(self, message) -> object:
+        write_frame(self.proc.stdin, message)
+        reply = read_frame(self.proc.stdout)
+        if reply is None:
+            raise PoolBrokenError(
+                f"ssh worker {self.host}#{self.slot} closed its stream"
+            )
+        return reply
+
+    def send(self, message) -> None:
+        write_frame(self.proc.stdin, message)
+
+    def stop(self, fail_fast: bool) -> None:
+        try:
+            if not fail_fast and self.proc.poll() is None:
+                self.send(("exit",))
+                self.proc.wait(timeout=5)
+                return
+        except (OSError, ValueError, subprocess.TimeoutExpired):
+            pass
+        self.proc.kill()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            pass
+
+
+class SSHPool(Pool):
+    """Fan experiment chunks out to warm workers on remote hosts."""
+
+    name = "ssh"
+    capabilities = PoolCapabilities(
+        parallel=True, rebuild=True, remote=True, warm_start=True
+    )
+
+    def __init__(
+        self,
+        hosts: Union[str, Path, Sequence[str], Sequence[Tuple[str, int]]],
+        transport: Optional[Transport] = None,
+        remote_python: str = "python3",
+        remote_root: Optional[str] = None,
+        rsync: str = "rsync",
+    ):
+        if isinstance(hosts, (str, Path)):
+            parsed = parse_hostfile(hosts)
+        else:
+            parsed = [
+                entry if isinstance(entry, tuple) else (entry, 1)
+                for entry in hosts
+            ]
+        if not parsed:
+            raise ValueError("SSHPool needs at least one host")
+        self.hosts: List[Tuple[str, int]] = list(parsed)
+        self.transport: Transport = transport or ssh_transport
+        self.remote_python = remote_python
+        self.remote_root = remote_root
+        self.rsync = rsync
+        self.workers = sum(slots for _, slots in self.hosts)
+        self._workers: List[_SSHWorker] = []
+        self._threads: List[threading.Thread] = []
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._broken = False
+        self._live_workers = 0
+        self._lock = threading.Lock()
+
+    # -- process management -------------------------------------------------
+
+    def _worker_command(self, host: str) -> Tuple[List[str], Optional[dict]]:
+        prefix = self.transport(host)
+        if not prefix:
+            # Loopback: same interpreter, source tree resolved from the
+            # running package so the child imports the same code.
+            src = str(Path(__file__).resolve().parents[3])
+            env = dict(os.environ)
+            existing = env.get("PYTHONPATH", "")
+            env["PYTHONPATH"] = src + (
+                os.pathsep + existing if existing else ""
+            )
+            return (
+                [sys.executable, "-u", "-m", "repro.sim.pools.ssh_worker"],
+                env,
+            )
+        invoke = f"{self.remote_python} -u -m repro.sim.pools.ssh_worker"
+        if self.remote_root:
+            invoke = (
+                f"cd {shlex.quote(self.remote_root)} && "
+                f"PYTHONPATH=src {invoke}"
+            )
+        return prefix + [invoke], None
+
+    def sync_command(self, host: str, source: str = "src") -> List[str]:
+        """The ``rsync`` argv that ships ``source/`` to a host's root."""
+        if not self.remote_root:
+            raise ValueError("sync needs remote_root")
+        return [
+            self.rsync,
+            "-az",
+            "--delete",
+            f"{source.rstrip('/')}/",
+            f"{host}:{self.remote_root.rstrip('/')}/{source.rstrip('/')}/",
+        ]
+
+    def push_sources(self, source: str = "src") -> None:
+        """rsync the source tree to every remote host (no-op on loopback)."""
+        if not self.remote_root:
+            return
+        for host, _ in self.hosts:
+            if not self.transport(host):
+                continue
+            subprocess.run(self.sync_command(host, source), check=True)
+
+    def start(self, warm_benchmarks: Sequence[str] = ()) -> bool:
+        if self._workers:
+            return False
+        self._broken = False
+        self.push_sources()
+        warm = tuple(dict.fromkeys(warm_benchmarks))
+        for host, slots in self.hosts:
+            command, env = self._worker_command(host)
+            for slot in range(slots):
+                try:
+                    worker = _SSHWorker(host, slot, command, env=env)
+                except OSError as error:
+                    self.close(fail_fast=True)
+                    raise PoolBrokenError(
+                        f"cannot start ssh worker on {host}: {error}"
+                    ) from error
+                if warm:
+                    try:
+                        worker.send(("warm", warm))
+                    except OSError:
+                        pass  # surfaces as broken on first chunk
+                self._workers.append(worker)
+        self._live_workers = len(self._workers)
+        for worker in self._workers:
+            thread = threading.Thread(
+                target=self._serve, args=(worker,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return True
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _serve(self, worker: _SSHWorker) -> None:
+        """One dispatcher thread per worker: pull a job, do a round trip."""
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            payload, future = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                reply = worker.request(("chunk", payload))
+            except (PoolBrokenError, OSError, EOFError) as error:
+                self._mark_broken(future, error)
+                return
+            except Exception as error:  # noqa: BLE001 — e.g. unpicklable
+                # A request that could not even be serialised is a chunk
+                # failure, not a dead worker: the stream is still clean
+                # (frames are built before any byte is written).
+                future.set_exception(error)
+                continue
+            if reply[0] == "result":
+                future.set_result(reply[1])
+            else:
+                # A request-level error (not per-cell): hand it to the
+                # engine's chunk-retry machinery via the future.
+                future.set_exception(reply[1])
+
+    def _mark_broken(self, future: "Future", cause: BaseException) -> None:
+        broken = PoolBrokenError(
+            f"ssh pool worker died: {cause!r}"
+        )
+        with self._lock:
+            self._broken = True
+            self._live_workers -= 1
+            last = self._live_workers <= 0
+        future.set_exception(broken)
+        if last:
+            # No worker left to drain the queue: fail everything pending
+            # so the engine never blocks on a dead pool.
+            while True:
+                try:
+                    job = self._jobs.get_nowait()
+                except queue.Empty:
+                    return
+                if job is not None and job[1].set_running_or_notify_cancel():
+                    job[1].set_exception(PoolBrokenError("ssh pool is dead"))
+
+    def submit_chunk(self, payload: ChunkPayload) -> "Future":
+        if not self._workers:
+            raise PoolBrokenError("SSHPool is not started")
+        if self._broken:
+            raise PoolBrokenError("SSHPool is broken (worker died)")
+        future: Future = Future()
+        self._jobs.put((payload, future))
+        return future
+
+    def close(self, fail_fast: bool = False) -> None:
+        workers, self._workers = self._workers, []
+        threads, self._threads = self._threads, []
+        for _ in threads:
+            self._jobs.put(None)
+        for worker in workers:
+            worker.stop(fail_fast)
+        for thread in threads:
+            thread.join(timeout=5)
+        self._jobs = queue.SimpleQueue()
+        self._broken = False
+        self._live_workers = 0
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._workers) and not self._broken

@@ -1,0 +1,192 @@
+"""Worker-side chunk execution, shared by every parallel backend.
+
+This is the code that runs on the far side of a pool boundary — in a
+``ProcessPoolExecutor`` worker (:class:`~repro.sim.pools.local
+.LocalProcessPool`), in a remote ``ssh`` worker process
+(:mod:`repro.sim.pools.ssh_worker`), or inline for
+:class:`~repro.sim.pools.local.SerialPool`.  It moved here verbatim
+from ``repro.sim.engine`` when the backends were lifted behind the
+:class:`~repro.sim.pools.base.Pool` API; the engine's serial path still
+imports :func:`run_with_alarm` and :func:`inject_cell_faults` from
+here.
+
+Module globals below are per worker process (each worker gets its own
+module state, whether forked, spawned, or ssh-exec'd); the parent never
+touches them.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults import FaultPlan, InjectedFault
+from repro.sim.driver import RunResult, RunSpec, execute
+from repro.sim.pools.base import CellTimeout, ChunkPayload
+
+
+def run_with_alarm(
+    spec: RunSpec,
+    timeout: Optional[float],
+    telemetry=None,
+    fault_plan: Optional[FaultPlan] = None,
+    on_unarmed: Optional[Callable[[], None]] = None,
+) -> RunResult:
+    """Execute a cell, bounded by SIGALRM when a timeout is requested.
+
+    SIGALRM interrupts pure-Python simulation loops reliably on POSIX; it
+    can only be armed from a main thread (worker processes always
+    qualify).  When a timeout was requested but cannot be armed, the cell
+    runs unbounded and ``on_unarmed`` is invoked so the caller can make
+    the disabled budget visible instead of silent.
+    """
+    if timeout is None or timeout <= 0:
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
+    if threading.current_thread() is not threading.main_thread():
+        if on_unarmed is not None:
+            on_unarmed()
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(
+            f"cell ({spec.benchmark_name!r}, {spec.scheme!r}) exceeded "
+            f"{timeout:.1f}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute(spec, telemetry=telemetry, fault_plan=fault_plan)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def inject_cell_faults(
+    plan: Optional[FaultPlan], spec: RunSpec, attempt: int
+) -> None:
+    """Raise the per-attempt engine faults a plan schedules for a cell."""
+    if plan is None:
+        return
+    key = (spec.benchmark_name, spec.scheme, attempt)
+    if plan.decide("cell_exception", key):
+        raise InjectedFault(
+            f"injected exception in cell "
+            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
+            f"attempt {attempt}"
+        )
+    if plan.decide("cell_timeout", key):
+        raise CellTimeout(
+            f"injected timeout in cell "
+            f"({spec.benchmark_name!r}, {spec.scheme!r}), "
+            f"attempt {attempt}"
+        )
+
+
+#: Built benchmarks memoised by name.  Safe to reuse across cells: a run
+#: never mutates a ``BuiltBenchmark`` — the kernels decode programs into
+#: per-VM tables and all run state lives in the VM/machine objects.
+_WORKER_BENCHES: Dict[str, object] = {}
+
+#: Warm-start statistics recorded by :func:`pool_initializer`, shipped
+#: to the parent with the first chunk this worker completes, then cleared.
+_WORKER_WARMUP: Optional[Dict[str, object]] = None
+
+
+def worker_built(benchmark):
+    """Worker-side memoised ``build_benchmark`` (str names only)."""
+    if not isinstance(benchmark, str):
+        return benchmark
+    built = _WORKER_BENCHES.get(benchmark)
+    if built is None:
+        from repro.workloads.specjvm import build_benchmark
+
+        built = _WORKER_BENCHES[benchmark] = build_benchmark(benchmark)
+    return built
+
+
+def pool_initializer(benchmarks: Tuple[str, ...]) -> None:
+    """Warm one worker before it serves cells.
+
+    Pre-builds the batch's benchmarks and pre-decodes every program, which
+    compiles all fused block closures into this process's blockjit code
+    cache — so the first real cell starts simulating immediately instead
+    of paying program generation + codegen.  Best-effort by design: a
+    failure here must not poison the pool (the cell itself will rebuild
+    and surface the real error through the retry machinery).
+    """
+    global _WORKER_WARMUP
+    from repro.vm import blockjit
+    from repro.vm.jit import BlockDecoder
+
+    started = time.perf_counter()
+    compiles_before = blockjit.CACHE_STATS["compiles"]
+    stats: Dict[str, object] = {"benchmarks": 0, "blocks": 0, "errors": 0}
+    for name in benchmarks:
+        try:
+            built = worker_built(name)
+            decoder = BlockDecoder(built.program)
+            for method in built.program.methods.values():
+                stats["blocks"] += len(decoder.table(method))
+            stats["benchmarks"] += 1
+        except Exception:
+            stats["errors"] += 1
+    stats["fused_compiles"] = (
+        blockjit.CACHE_STATS["compiles"] - compiles_before
+    )
+    stats["warm_s"] = round(time.perf_counter() - started, 6)
+    _WORKER_WARMUP = stats
+
+
+def picklable(error: BaseException) -> BaseException:
+    """The error itself if it survives pickling, else a repr stand-in.
+
+    Chunk outcomes travel back to the parent in one pickled payload; one
+    unpicklable exception must degrade to a readable substitute instead
+    of taking the whole chunk's results down with it.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(repr(error))
+
+
+def run_chunk(
+    payload: ChunkPayload,
+) -> Tuple[Optional[Dict[str, object]], List[Tuple[int, str, object]]]:
+    """Top-level chunk entry (must be importable for pickling).
+
+    ``payload`` is ``(cells, timeout, plan)`` with ``cells`` a tuple of
+    ``(index, spec, attempt)`` — the timeout and the fault plan are
+    pickled once per chunk instead of once per cell.  Returns
+    ``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
+    or ``(index, "error", error)``; per-cell failures are *returned*, not
+    raised, so one bad cell cannot discard its chunk-mates' finished
+    work.  A worker-crash injection still hard-exits the process, so the
+    parent observes a broken pool exactly like a segfaulting or
+    OOM-killed worker.
+    """
+    global _WORKER_WARMUP
+    cells, timeout, plan = payload
+    outcomes: List[Tuple[int, str, object]] = []
+    for index, spec, attempt in cells:
+        if plan is not None and plan.decide(
+            "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
+        ):
+            import os
+
+            os._exit(17)
+        try:
+            inject_cell_faults(plan, spec, attempt)
+            spec.benchmark = worker_built(spec.benchmark)
+            outcomes.append(
+                (index, "ok", run_with_alarm(spec, timeout, fault_plan=plan))
+            )
+        except Exception as error:  # noqa: BLE001 — parent retries
+            outcomes.append((index, "error", picklable(error)))
+    warmup, _WORKER_WARMUP = _WORKER_WARMUP, None
+    return warmup, outcomes

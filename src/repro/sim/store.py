@@ -1,11 +1,27 @@
-"""Persistent, content-addressed result store (schema v1).
+"""Persistent, content-addressed result store (schema v1, sharded).
 
 Every cell the engine executes can be persisted as one JSON file under a
 store directory (default ``results/store/``), addressed by the cell's
 ``(benchmark, scheme, ExperimentConfig.fingerprint())`` identity.  A
-fresh process — another CLI invocation, another pytest worker — that asks
-for the same cell gets the stored :class:`~repro.sim.driver.RunResult`
-back instead of re-simulating.
+fresh process — another CLI invocation, another pytest worker, another
+*host* feeding the same shared directory — that asks for the same cell
+gets the stored :class:`~repro.sim.driver.RunResult` back instead of
+re-simulating.
+
+Directory layout (docs/INTERNALS.md §14): entries live in
+**content-hash shards** — two-hex-character directories named by the
+fingerprint prefix — so concurrent writers (a multi-host ``ssh``
+backend, parallel pytest workers) spread their directory traffic and
+their lease contention across 256 buckets instead of one flat dir::
+
+    results/store/
+      3f/db__hotspot__3fa89c....json
+      3f/.lease                       # transient per-shard writer lease
+      a0/jess__baseline__a01b42....json
+
+Entries written by older checkouts into the flat root are still read
+(and migrated into their shard on first hit), so an existing store
+keeps working after an upgrade.
 
 Entry layout (schema version 1)::
 
@@ -30,10 +46,19 @@ Robustness rules:
   overwritten.  Entries with a merely *unknown schema version* (left by
   older/newer checkouts) stay in place untouched — they are someone
   else's valid data, not corruption;
-* writes are atomic (temp file + ``os.replace``), so a crashed or
-  concurrent writer can never leave a truncated entry behind — two
-  processes ``put()``-ing the same key concurrently both leave a valid
-  entry (last replace wins);
+* commits are atomic (temp file in the shard + ``os.replace``), so a
+  crashed or concurrent writer can never leave a truncated entry
+  behind — two processes ``put()``-ing the same key concurrently both
+  leave a valid entry (last replace wins);
+* writers additionally take a **per-shard lease** (``.lease``, created
+  ``O_CREAT | O_EXCL``) around a batch of commits.  The lease is an
+  optimisation and an observability hook, not a correctness
+  requirement: it serialises same-shard batches so rename storms don't
+  interleave, a crashed writer's lease goes *stale* after
+  ``LEASE_STALE_S`` and is taken over, and a writer that cannot acquire
+  a lease within ``LEASE_WAIT_S`` proceeds anyway (counted in
+  :attr:`ResultStore.lease_timeouts`) because the rename commit is
+  already safe without it;
 * ``STORE_SCHEMA_VERSION`` must be bumped whenever the serialised shape
   of :class:`RunResult` changes, and the *fingerprint* version
   (:data:`repro.sim.config.FINGERPRINT_VERSION`) whenever simulator
@@ -49,7 +74,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.sim.driver import RunResult
 
@@ -60,6 +85,19 @@ STORE_SCHEMA_VERSION = 1
 #: Default location, overridable with the ``REPRO_STORE_DIR`` environment
 #: variable (the CLI's ``--store-dir`` wins over both).
 DEFAULT_STORE_DIR = "results/store"
+
+#: Hex characters of the fingerprint naming a shard directory.
+SHARD_WIDTH = 2
+
+#: Per-shard writer-lease file name (never matches the entry globs).
+LEASE_NAME = ".lease"
+
+#: A lease untouched for this long belongs to a dead writer: take it over.
+LEASE_STALE_S = 30.0
+
+#: How long a writer waits for a shard lease before proceeding without
+#: one (commits are atomic either way; the overrun is only counted).
+LEASE_WAIT_S = 10.0
 
 
 def default_store_dir() -> Path:
@@ -102,6 +140,81 @@ class StoreEntryInfo:
         return max(0.0, (now - self.created) / 86_400.0)
 
 
+class _ShardLease:
+    """Advisory per-shard writer lease (``O_CREAT | O_EXCL`` file).
+
+    ``acquire()`` loops until the exclusive create succeeds, taking over
+    leases whose mtime is older than ``stale_after`` (a crashed writer
+    never releases).  Two takeover racers both unlink; exactly one wins
+    the re-create.  On timeout the caller proceeds *without* the lease —
+    commits stay atomic regardless — and the overrun is reported through
+    the return value.
+    """
+
+    def __init__(
+        self,
+        shard: Path,
+        stale_after: float = LEASE_STALE_S,
+        timeout: float = LEASE_WAIT_S,
+    ):
+        self.path = shard / LEASE_NAME
+        self.stale_after = stale_after
+        self.timeout = timeout
+        self.held = False
+
+    def acquire(self) -> bool:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                if self._steal_if_stale():
+                    continue
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.02)
+                continue
+            except OSError:
+                # Unwritable shard (permissions, read-only mount): the
+                # commit itself will surface the real error.
+                return False
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"pid={os.getpid()} ts={time.time():.0f}\n")
+            self.held = True
+            return True
+
+    def _steal_if_stale(self) -> bool:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return True  # holder released between our create and stat
+        if age <= self.stale_after:
+            return False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # the other racer's unlink won; retry the create
+        return True
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "_ShardLease":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
 class ResultStore:
     """On-disk result cache, one JSON file per experiment cell."""
 
@@ -109,13 +222,28 @@ class ResultStore:
         self.root = Path(root) if root is not None else default_store_dir()
         #: Entries this instance quarantined (renamed to ``*.corrupt``).
         self.quarantined = 0
+        #: Batches committed without a shard lease (waited past
+        #: ``LEASE_WAIT_S``); nonzero means heavy same-shard contention.
+        self.lease_timeouts = 0
 
     # -- addressing --------------------------------------------------------
+
+    def shard_for(self, fingerprint: str) -> Path:
+        """The content-hash shard directory an entry lives in."""
+        return self.root / fingerprint[:SHARD_WIDTH]
 
     def path_for(
         self, benchmark: str, scheme: str, fingerprint: str
     ) -> Path:
-        """Content address: readable prefix + fingerprint excerpt."""
+        """Content address: shard + readable prefix + fingerprint excerpt."""
+        return self.shard_for(fingerprint) / (
+            f"{benchmark}__{scheme}__{fingerprint[:24]}.json"
+        )
+
+    def _legacy_path_for(
+        self, benchmark: str, scheme: str, fingerprint: str
+    ) -> Path:
+        """Flat pre-shard location (read-only compatibility)."""
         return self.root / f"{benchmark}__{scheme}__{fingerprint[:24]}.json"
 
     # -- read/write --------------------------------------------------------
@@ -129,9 +257,23 @@ class ResultStore:
         quarantined on the spot — renamed to ``<entry>.corrupt`` with a
         ``.reason`` sidecar — so the damage is preserved and visible
         (``tools/store_gc.py``) instead of being silently rewritten by
-        the re-simulation that follows the miss.
+        the re-simulation that follows the miss.  Flat entries left by
+        the pre-shard layout are found too, and migrated into their
+        shard on first hit.
         """
         path = self.path_for(benchmark, scheme, fingerprint)
+        result = self._read_entry(path, fingerprint)
+        if result is not None:
+            return result
+        legacy = self._legacy_path_for(benchmark, scheme, fingerprint)
+        result = self._read_entry(legacy, fingerprint)
+        if result is not None:
+            self._migrate(legacy, path)
+        return result
+
+    def _read_entry(
+        self, path: Path, fingerprint: str
+    ) -> Optional[RunResult]:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -151,6 +293,14 @@ class ResultStore:
         except (ValueError, KeyError, TypeError) as error:
             self._quarantine(path, f"undecodable result: {error!r}")
             return None
+
+    def _migrate(self, legacy: Path, target: Path) -> None:
+        """Atomically move a flat pre-shard entry into its shard."""
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError:
+            pass  # a concurrent reader migrated it (or the FS refused)
 
     def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
         """Move a damaged entry aside as ``*.corrupt`` + reason sidecar."""
@@ -177,8 +327,7 @@ class ResultStore:
         result: RunResult,
     ) -> Path:
         """Atomically persist one cell's result; returns the entry path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        return self._put_one(benchmark, scheme, fingerprint, result)
+        return self.put_many([(benchmark, scheme, fingerprint, result)])[0]
 
     def put_many(
         self,
@@ -187,20 +336,37 @@ class ResultStore:
         """Persist a batch of ``(benchmark, scheme, fingerprint, result)``
         entries; returns their paths in order.
 
-        Each entry is still an independent atomic write (a crash mid-batch
-        leaves a valid prefix, never a truncated file), but the directory
-        creation and the call overhead are paid once per batch instead of
-        once per cell — the engine flushes a whole batch's simulated
-        results through here.
+        Entries are grouped **per shard**: each shard is created once,
+        its writer lease taken once, and its entries committed under it
+        back to back.  Each commit is still an independent atomic
+        rename (a crash mid-batch leaves a valid prefix, never a
+        truncated file), so a lease that could not be acquired in time
+        degrades to plain unserialised commits, counted in
+        :attr:`lease_timeouts`.
         """
         entries = list(entries)
         if not entries:
             return []
-        self.root.mkdir(parents=True, exist_ok=True)
-        return [
-            self._put_one(benchmark, scheme, fingerprint, result)
-            for benchmark, scheme, fingerprint, result in entries
-        ]
+        by_shard: Dict[Path, List[int]] = {}
+        keyed = []
+        for position, (benchmark, scheme, fingerprint, result) in enumerate(
+            entries
+        ):
+            shard = self.shard_for(fingerprint)
+            by_shard.setdefault(shard, []).append(position)
+            keyed.append((benchmark, scheme, fingerprint, result))
+        paths: List[Optional[Path]] = [None] * len(entries)
+        for shard, positions in by_shard.items():
+            shard.mkdir(parents=True, exist_ok=True)
+            lease = _ShardLease(shard)
+            if not lease.acquire():
+                self.lease_timeouts += 1
+            try:
+                for position in positions:
+                    paths[position] = self._put_one(*keyed[position])
+            finally:
+                lease.release()
+        return paths  # type: ignore[return-value]
 
     def _put_one(
         self,
@@ -219,8 +385,10 @@ class ResultStore:
             "repro_version": _repro_version(),
             "result": result.to_dict(),
         }
+        # The temp file lives in the shard so the commit rename never
+        # crosses a filesystem boundary.
         fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=path.name, suffix=".tmp"
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -236,11 +404,18 @@ class ResultStore:
 
     # -- maintenance -------------------------------------------------------
 
-    def entries(self) -> Iterator[StoreEntryInfo]:
-        """Metadata for every ``*.json`` entry under the store root."""
+    def _glob_both(self, pattern: str) -> List[Path]:
+        """Matches in the flat root (legacy) and in every shard."""
         if not self.root.is_dir():
-            return
-        for path in sorted(self.root.glob("*.json")):
+            return []
+        return sorted(
+            list(self.root.glob(pattern))
+            + list(self.root.glob(f"*/{pattern}"))
+        )
+
+    def entries(self) -> Iterator[StoreEntryInfo]:
+        """Metadata for every ``*.json`` entry (all shards + flat root)."""
+        for path in self._glob_both("*.json"):
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
@@ -265,19 +440,32 @@ class ResultStore:
 
     def stale_tmp_files(self) -> List[Path]:
         """Leftover atomic-write temp files (a crashed writer's debris)."""
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*.tmp"))
+        return self._glob_both("*.tmp")
 
     def corrupt_files(self) -> List[Path]:
         """Quarantined entries (``*.corrupt``), excluding reason sidecars."""
-        if not self.root.is_dir():
-            return []
-        return sorted(
+        return [
             path
-            for path in self.root.glob("*.corrupt")
+            for path in self._glob_both("*.corrupt")
             if path.suffix == ".corrupt"
-        )
+        ]
+
+    def stale_lease_files(self, now: Optional[float] = None) -> List[Path]:
+        """Shard leases older than ``LEASE_STALE_S`` (dead writers).
+
+        Live writers take these over on contact; this listing exists so
+        ``tools/store_gc.py`` can surface (and sweep) them even when no
+        writer ever comes back to that shard.
+        """
+        now = time.time() if now is None else now
+        stale = []
+        for path in self._glob_both(LEASE_NAME):
+            try:
+                if now - path.stat().st_mtime > LEASE_STALE_S:
+                    stale.append(path)
+            except OSError:
+                continue
+        return stale
 
     def quarantine_reason(self, path: Path) -> Optional[str]:
         """First line of a quarantined entry's reason sidecar, if any."""
@@ -295,18 +483,27 @@ class ResultStore:
         Returns per-kind counts (entries / tmp / corrupt) rather than one
         conflated number — a large ``tmp`` count means crashed writers,
         a large ``corrupt`` count means quarantined damage, and neither
-        should masquerade as cache size.
+        should masquerade as cache size.  Shard directories (and any
+        leases in them) are removed too.
         """
         if not self.root.is_dir():
             return ClearStats()
         entries = tmp = corrupt = 0
-        for path in self.root.glob("*.json"):
+        for path in self._glob_both("*.json"):
             entries += self._unlink(path)
-        for path in self.root.glob("*.tmp"):
+        for path in self._glob_both("*.tmp"):
             tmp += self._unlink(path)
         for path in self.corrupt_files():
             corrupt += self._unlink(path)
             self._unlink(path.with_name(path.name + ".reason"))
+        for path in self._glob_both(LEASE_NAME):
+            self._unlink(path)
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # still holds someone else's files
         return ClearStats(entries=entries, tmp=tmp, corrupt=corrupt)
 
     @staticmethod
@@ -318,9 +515,7 @@ class ResultStore:
             return 0
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self._glob_both("*.json"))
 
     def __repr__(self) -> str:
         return f"ResultStore({str(self.root)!r}, entries={len(self)})"

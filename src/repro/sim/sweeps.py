@@ -115,7 +115,7 @@ def sweep_parameter(
         set_config_path(config, parameter, value)
         cells.append(RunSpec(benchmark, scheme, config))
         cells.append(RunSpec(benchmark, "baseline", config))
-    runs = engine.run(cells)
+    runs = engine.run(cells).values()
     return [
         SweepPoint(parameter, value, runs[2 * i], runs[2 * i + 1])
         for i, value in enumerate(values)

@@ -299,7 +299,17 @@ class FastVirtualMachine(VirtualMachine):
         cur_name = None
         cur_table = None
 
-        for _ in range(quantum):
+        # Each loop turn consumes one micro-step; ``steps`` is the
+        # quantum countdown.  With GC off nothing can be scheduled
+        # between two consecutive micro-steps of the same thread, so
+        # after a body the successor micro-steps of the *same*
+        # activation (call launch, terminator, and the next body after
+        # a goto/branch) are chained inline without re-deriving
+        # ``stack[-1]``/method/decode-table — the budget and quantum
+        # gates stay at every micro-step boundary, so the thread
+        # interleave and all architectural state are unchanged.
+        steps = quantum
+        while steps > 0:
             if thread.finished or machine.instructions >= max_instructions:
                 return
             if gc_enabled:
@@ -316,173 +326,211 @@ class FastVirtualMachine(VirtualMachine):
             phase = activation.phase
 
             if phase == 0:
-                # ---- block body (reference: _execute_body) ----
-                # Same fused fast path as _run_fused (see there for the
-                # ordering argument); iteration counters stay in the
-                # per-thread dict because the decode table is shared.
-                fused = dec.fused_gen if counts_only else None
-                if fused is not None:
-                    if dec.needs_iter:
-                        key = dec.key
-                        iteration = block_iterations.get(key, 0)
-                        block_iterations[key] = iteration + 1
-                    else:
-                        iteration = 0
-                    r_m, w_m, miss_lines, wb_lines = fused(
-                        rng,
-                        activation.frame_base,
-                        dec.region_base,
-                        iteration,
-                        l1,
-                        _SENTINEL,
-                    )
-                    nl = dec.n_loads
-                    ns = dec.n_stores
-                    # Count-only hooks never read the address lists.
-                    loads = stores = _EMPTY
-                    # Stats epilogue access_block would have applied
-                    # (fills == miss count; lists may be None when empty).
-                    l1_stats.read_accesses += nl
-                    l1_stats.read_misses += r_m
-                    l1_stats.write_accesses += ns
-                    l1_stats.write_misses += w_m
-                    l1_stats.fills += r_m + w_m
-                    if wb_lines:
-                        l1_stats.writebacks += len(wb_lines)
-                else:
-                    fgen = dec.fast_gen
-                    if fgen is not None:
+                while True:
+                    # ---- block body (reference: _execute_body) ----
+                    # Same fused fast path as _run_fused (see there for the
+                    # ordering argument); iteration counters stay in the
+                    # per-thread dict because the decode table is shared.
+                    fused = dec.fused_gen if counts_only else None
+                    if fused is not None:
                         if dec.needs_iter:
                             key = dec.key
                             iteration = block_iterations.get(key, 0)
                             block_iterations[key] = iteration + 1
                         else:
                             iteration = 0
-                        loads, stores = fgen(
+                        r_m, w_m, miss_lines, wb_lines = fused(
                             rng,
                             activation.frame_base,
                             dec.region_base,
                             iteration,
+                            l1,
+                            _SENTINEL,
                         )
-                    else:
+                        nl = dec.n_loads
+                        ns = dec.n_stores
+                        # Count-only hooks never read the address lists.
                         loads = stores = _EMPTY
-                    # (reference: MachineModel.consume)
-                    (r_h, r_m, w_h, w_m, miss_lines, wb_lines) = l1_access(
-                        loads, stores
-                    )
-                    nl = r_h + r_m
-                    ns = w_h + w_m
-
-                decider = dec.decider
-                if decider is not None:
-                    if dec.persistent:
-                        states = persistent_states
-                        skey = dec.key
+                        # Stats epilogue access_block would have applied
+                        # (fills == miss count; lists may be None when empty).
+                        l1_stats.read_accesses += nl
+                        l1_stats.read_misses += r_m
+                        l1_stats.write_accesses += ns
+                        l1_stats.write_misses += w_m
+                        l1_stats.fills += r_m + w_m
+                        if wb_lines:
+                            l1_stats.writebacks += len(wb_lines)
                     else:
-                        states = activation.loop_states
-                        skey = dec.bid
-                    state = states.get(skey, _SENTINEL)
-                    if state is _SENTINEL:
-                        state = decider.initial_state(rng)
-                    taken, new_state = decider.decide(state, rng)
-                    states[skey] = new_state
-                    branch_pc = dec.branch_pc
-                else:
-                    taken = True
-                    branch_pc = None
-                l1_misses = r_m + w_m
-                if miss_lines or wb_lines:
-                    (l2_rh, l2_rm, l2_wh, l2_wm, _l2_miss, l2_wb) = (
-                        l2_access(miss_lines or _EMPTY, wb_lines or _EMPTY)
+                        fgen = dec.fast_gen
+                        if fgen is not None:
+                            if dec.needs_iter:
+                                key = dec.key
+                                iteration = block_iterations.get(key, 0)
+                                block_iterations[key] = iteration + 1
+                            else:
+                                iteration = 0
+                            loads, stores = fgen(
+                                rng,
+                                activation.frame_base,
+                                dec.region_base,
+                                iteration,
+                            )
+                        else:
+                            loads = stores = _EMPTY
+                        # (reference: MachineModel.consume)
+                        (r_h, r_m, w_h, w_m, miss_lines, wb_lines) = l1_access(
+                            loads, stores
+                        )
+                        nl = r_h + r_m
+                        ns = w_h + w_m
+
+                    decider = dec.decider
+                    if decider is not None:
+                        if dec.persistent:
+                            states = persistent_states
+                            skey = dec.key
+                        else:
+                            states = activation.loop_states
+                            skey = dec.bid
+                        state = states.get(skey, _SENTINEL)
+                        if state is _SENTINEL:
+                            state = decider.initial_state(rng)
+                        taken, new_state = decider.decide(state, rng)
+                        states[skey] = new_state
+                        branch_pc = dec.branch_pc
+                    else:
+                        taken = True
+                        branch_pc = None
+                    l1_misses = r_m + w_m
+                    if miss_lines or wb_lines:
+                        (l2_rh, l2_rm, l2_wh, l2_wm, _l2_miss, l2_wb) = (
+                            l2_access(miss_lines or _EMPTY, wb_lines or _EMPTY)
+                        )
+                        l2_misses = l2_rm + l2_wm
+                        hierarchy.memory_reads += l2_misses
+                        hierarchy.memory_writes += len(l2_wb)
+                        have_l2 = True
+                    else:
+                        l2_misses = 0
+                        have_l2 = False
+
+                    mispredicts = 0
+                    if branch_pc is not None:
+                        index = (branch_pc >> 2) & pred_mask
+                        counter = pred_table[index]
+                        if taken:
+                            if counter < 3:
+                                pred_table[index] = counter + 1
+                        elif counter > 0:
+                            pred_table[index] = counter - 1
+                        predictor.lookups += 1
+                        if (counter >= 2) != taken:
+                            predictor.mispredictions += 1
+                            mispredicts = 1
+
+                    n_insns = dec.n_insns
+                    cycles = n_insns * cycles_per_insn / timing._ilp_factor
+                    if l1_misses or l2_misses:
+                        overlap = 1.0 if dec.serialized else mlp
+                        cycles += l1_misses * (l2_hit_latency / overlap)
+                        cycles += l2_misses * (memory_latency / overlap)
+                    if mispredicts:
+                        cycles += mispredicts * mispredict_penalty
+
+                    # Energy prices are re-read per block: resizes re-bind them.
+                    l1e.dynamic_nj += (
+                        nl * l1e._read_nj + (ns + l1_misses) * l1e._write_nj
                     )
-                    l2_misses = l2_rm + l2_wm
-                    hierarchy.memory_reads += l2_misses
-                    hierarchy.memory_writes += len(l2_wb)
-                    have_l2 = True
-                else:
-                    l2_misses = 0
-                    have_l2 = False
+                    if have_l2:
+                        l2e.dynamic_nj += (
+                            (l2_rh + l2_rm) * l2e._read_nj
+                            + (l2_wh + l2_wm + l2_misses) * l2e._write_nj
+                        )
+                        energy.memory_nj += (
+                            (l2_misses + len(l2_wb)) * memory_access_nj
+                        )
+                    l1e.leakage_nj += cycles * l1e._leak_nj
+                    l2e.leakage_nj += cycles * l2e._leak_nj
+                    for component in pipeline:
+                        component.energy_nj += cycles * component._nj
+                    machine.instructions += n_insns
+                    machine.cycles += cycles
 
-                mispredicts = 0
-                if branch_pc is not None:
-                    index = (branch_pc >> 2) & pred_mask
-                    counter = pred_table[index]
-                    if taken:
-                        if counter < 3:
-                            pred_table[index] = counter + 1
-                    elif counter > 0:
-                        pred_table[index] = counter - 1
-                    predictor.lookups += 1
-                    if (counter >= 2) != taken:
-                        predictor.mispredictions += 1
-                        mispredicts = 1
+                    # ---- VM bookkeeping + hooks ----
+                    stats.blocks_executed += 1
+                    thread_insns[thread_id] += n_insns
+                    if thread.hotspot_depth:
+                        stats.instructions_in_hotspots += n_insns
+                    if counts_hook is not None:
+                        counts_hook(n_insns, dec.block_pc, thread_id, machine)
+                    elif on_block is not None:
+                        on_block(
+                            BlockEvent(
+                                dec.method_name,
+                                dec.bid,
+                                n_insns,
+                                loads,
+                                stores,
+                                branch_pc,
+                                taken,
+                                dec.serialized,
+                                thread_id,
+                                dec.block_pc,
+                            ),
+                            machine,
+                        )
+                    # Cycles re-read after the hook: a reconfiguration inside
+                    # on_block charges stall cycles the sampler must see.
+                    now_cycles = machine.cycles
+                    if now_cycles >= sampler._next_sample_at:
+                        sampler_advance(now_cycles, dec.method_name)
 
-                n_insns = dec.n_insns
-                cycles = n_insns * cycles_per_insn / timing._ilp_factor
-                if l1_misses or l2_misses:
-                    overlap = 1.0 if dec.serialized else mlp
-                    cycles += l1_misses * (l2_hit_latency / overlap)
-                    cycles += l2_misses * (memory_latency / overlap)
-                if mispredicts:
-                    cycles += mispredicts * mispredict_penalty
-
-                # Energy prices are re-read per block: resizes re-bind them.
-                l1e.dynamic_nj += (
-                    nl * l1e._read_nj + (ns + l1_misses) * l1e._write_nj
-                )
-                if have_l2:
-                    l2e.dynamic_nj += (
-                        (l2_rh + l2_rm) * l2e._read_nj
-                        + (l2_wh + l2_wm + l2_misses) * l2e._write_nj
-                    )
-                    energy.memory_nj += (
-                        (l2_misses + len(l2_wb)) * memory_access_nj
-                    )
-                l1e.leakage_nj += cycles * l1e._leak_nj
-                l2e.leakage_nj += cycles * l2e._leak_nj
-                for component in pipeline:
-                    component.energy_nj += cycles * component._nj
-                machine.instructions += n_insns
-                machine.cycles += cycles
-
-                # ---- VM bookkeeping + hooks ----
-                stats.blocks_executed += 1
-                thread_insns[thread_id] += n_insns
-                if thread.hotspot_depth:
-                    stats.instructions_in_hotspots += n_insns
-                if counts_hook is not None:
-                    counts_hook(n_insns, dec.block_pc, thread_id, machine)
-                elif on_block is not None:
-                    on_block(
-                        BlockEvent(
-                            dec.method_name,
-                            dec.bid,
-                            n_insns,
-                            loads,
-                            stores,
-                            branch_pc,
-                            taken,
-                            dec.serialized,
-                            thread_id,
-                            dec.block_pc,
-                        ),
-                        machine,
-                    )
-                # Cycles re-read after the hook: a reconfiguration inside
-                # on_block charges stall cycles the sampler must see.
-                now_cycles = machine.cycles
-                if now_cycles >= sampler._next_sample_at:
-                    sampler_advance(now_cycles, dec.method_name)
-
-                activation.phase = 1
-                if decider is not None:
-                    activation.loop_states["__pending__"] = taken
+                    activation.phase = 1
+                    if decider is not None:
+                        activation.loop_states["__pending__"] = taken
+                    steps -= 1
+                    if gc_enabled or steps == 0:
+                        break
+                    if machine.instructions >= max_instructions:
+                        return
+                    # ---- chained call launch / terminator ----
+                    if dec.n_calls:
+                        activation.phase = 2
+                        self._invoke(thread, dec.callees[0])
+                        steps -= 1
+                        break
+                    kind = dec.term_kind
+                    if kind == TERM_RETURN:
+                        self._return(thread)
+                        steps -= 1
+                        if not stack:
+                            thread.finished = True
+                            return
+                        break
+                    if kind == TERM_GOTO:
+                        activation.bid = dec.goto_target
+                    else:
+                        taken = activation.loop_states.pop("__pending__")
+                        activation.bid = (
+                            dec.taken_target
+                            if taken
+                            else dec.fallthrough_target
+                        )
+                    activation.phase = 0
+                    steps -= 1
+                    if steps == 0:
+                        return
+                    if machine.instructions >= max_instructions:
+                        return
+                    dec = cur_table[activation.bid]
+                    # back to the chained block's body
                 continue
 
             # ---- call launches ----
             if phase <= dec.n_calls:
                 activation.phase = phase + 1
                 self._invoke(thread, dec.callees[phase - 1])
+                steps -= 1
                 continue
 
             # ---- terminator ----
@@ -491,6 +539,7 @@ class FastVirtualMachine(VirtualMachine):
                 self._return(thread)
                 if not stack:
                     thread.finished = True
+                steps -= 1
                 continue
             if kind == TERM_GOTO:
                 activation.bid = dec.goto_target
@@ -500,6 +549,7 @@ class FastVirtualMachine(VirtualMachine):
                     dec.taken_target if taken else dec.fallthrough_target
                 )
             activation.phase = 0
+            steps -= 1
 
     def _run_fused(self, thread, max_instructions) -> None:
         """Single-thread, GC-free runner: the whole budget in one call.

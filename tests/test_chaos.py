@@ -57,7 +57,7 @@ class TestChaosGate:
             max_retries=5,
             failure_policy="partial",
         )
-        batch = engine.run_batch(suite_cells(config))
+        batch = engine.run(suite_cells(config))
         return engine, plan, batch
 
     def test_degraded_batch_completes_with_per_cell_outcomes(
@@ -124,7 +124,7 @@ class TestChaosGate:
             memory_cache={},
             failure_policy="partial",
         )
-        rerun = reader.run_batch(
+        rerun = reader.run(
             suite_cells(ExperimentConfig(max_instructions=BUDGET))
         )
         assert store.quarantined == corrupted
@@ -156,7 +156,7 @@ class TestPoolCrashRecovery:
             RunSpec(name, "baseline", config)
             for name in BENCHMARK_NAMES[:3]
         ]
-        batch = engine.run_batch(cells)
+        batch = engine.run(cells)
         assert not batch.degraded
         assert all(o.ok for o in batch)
         assert engine.stats.worker_crashes >= 1
@@ -181,7 +181,7 @@ class TestPoolCrashRecovery:
             RunSpec(name, "baseline", config)
             for name in BENCHMARK_NAMES[:2]
         ]
-        batch = engine.run_batch(cells)
+        batch = engine.run(cells)
         assert batch.degraded
         assert [o.status for o in batch] == ["crashed", "crashed"]
         assert all("BrokenProcessPool" in (o.error or "") for o in batch)
@@ -206,7 +206,7 @@ class TestNoCrashChaosDeterminism:
                 max_retries=3,
                 failure_policy="skip",
             )
-            return engine, engine.run_batch(suite_cells(config))
+            return engine, engine.run(suite_cells(config))
 
         engine_a, first = run("a")
         engine_b, second = run("b")

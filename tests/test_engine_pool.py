@@ -1,7 +1,7 @@
 """Persistent-pool and warm-start behaviour of the parallel engine.
 
 Covers the engine-scaling contract (docs/INTERNALS.md §13): the worker
-pool survives across ``run_batch`` calls, workers warm their blockjit
+pool survives across ``run`` calls, workers warm their blockjit
 code cache once, the second batch re-fuses nothing, batched store writes
 land, and none of it perturbs results — parallel warm-worker output is
 bit-identical to serial cold output.
@@ -40,8 +40,8 @@ class TestPersistentPool:
         with Engine(
             jobs=2, use_cache=False, memory_cache={}, telemetry=telemetry
         ) as engine:
-            engine.run_batch(cells)
-            engine.run_batch(cells)
+            engine.run(cells)
+            engine.run(cells)
         counts = telemetry.log.counts()
         assert counts.get("pool_spawned") == 1
         assert counts.get("pool_reused") == 1
@@ -52,14 +52,14 @@ class TestPersistentPool:
         # Warm-up happens at pool spawn, once per worker — never per
         # batch.  (A worker ships its warm-up stats with the first chunk
         # it completes, which on a loaded box may fall in the second
-        # batch, so the bound is per pool, not per run_batch call.)
+        # batch, so the bound is per pool, not per run() call.)
         telemetry = Telemetry()
         cells = suite_cells(config())
         with Engine(
             jobs=2, use_cache=False, memory_cache={}, telemetry=telemetry
         ) as engine:
-            engine.run_batch(cells)
-            engine.run_batch(cells)
+            engine.run(cells)
+            engine.run(cells)
         warmups = telemetry.log.by_name("worker_warmup")
         assert 1 <= len(warmups) <= engine.jobs
         for event in warmups:
@@ -73,20 +73,20 @@ class TestPersistentPool:
         # pre-decoding, and chunked submission must not perturb a single
         # bit of the results.
         cells = suite_cells(config())
-        serial = Engine(jobs=1, use_cache=False, memory_cache={}).run(cells)
+        serial = Engine(jobs=1, use_cache=False, memory_cache={}).run(cells).values()
         with Engine(jobs=2, use_cache=False, memory_cache={}) as engine:
-            first = engine.run(cells)
-            second = engine.run(cells)  # warm pool, memoised builds
+            first = engine.run(cells).values()
+            second = engine.run(cells).values()  # warm pool, memoised builds
         assert first == serial
         assert second == serial
 
     def test_close_is_idempotent_and_pool_respawns(self):
         cells = suite_cells(config())
         engine = Engine(jobs=2, use_cache=False, memory_cache={})
-        engine.run_batch(cells)
+        engine.run(cells)
         engine.close()
         engine.close()
-        engine.run_batch(cells)  # respawns transparently
+        engine.run(cells)  # respawns transparently
         assert engine.stats.pools_spawned == 2
         engine.close()
 
@@ -94,11 +94,11 @@ class TestPersistentPool:
         store = ResultStore(tmp_path / "store")
         cells = suite_cells(config())
         with Engine(jobs=2, store=store, memory_cache={}) as engine:
-            engine.run_batch(cells)
+            engine.run(cells)
         assert len(store) == len(cells)
         # A fresh engine over the same store serves everything from disk.
         reader = Engine(store=store, memory_cache={})
-        reader.run_batch(cells)
+        reader.run(cells)
         assert reader.stats.store_hits == len(cells)
         assert reader.stats.simulations == 0
 
@@ -110,7 +110,7 @@ class TestPersistentPool:
             assert engine._chunks(list(range(len(cells)))) == [
                 [0, 1], [2, 3]
             ]
-            results = engine.run(cells)
+            results = engine.run(cells).values()
         assert all(r is not None for r in results)
 
 
@@ -121,10 +121,10 @@ class TestSerialWarmStart:
         # a kept-alive engine must not compile again.
         engine = Engine(jobs=1, use_cache=False, memory_cache={})
         cells = suite_cells(config())
-        engine.run_batch(cells)
+        engine.run(cells)
         compiles = blockjit.CACHE_STATS["compiles"]
         hits = blockjit.CACHE_STATS["hits"]
-        engine.run_batch(cells)
+        engine.run(cells)
         assert blockjit.CACHE_STATS["compiles"] == compiles
         assert blockjit.CACHE_STATS["hits"] > hits
 

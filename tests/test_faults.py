@@ -178,7 +178,7 @@ class TestFailurePolicies:
             max_retries=1,
             failure_policy="skip",
         )
-        batch = engine.run_batch(
+        batch = engine.run(
             [
                 RunSpec("db", "baseline", small_config),
                 RunSpec("jess", "baseline", small_config),
@@ -220,7 +220,7 @@ class TestFailurePolicies:
             max_retries=1,
             failure_policy="partial",
         )
-        batch = engine.run_batch(
+        batch = engine.run(
             [
                 RunSpec("db", "baseline", small_config),
                 RunSpec("jess", "baseline", small_config),
@@ -242,7 +242,7 @@ class TestFailurePolicies:
             failure_policy="partial",
         )
         with pytest.raises(BatchExecutionError) as excinfo:
-            engine.run_batch([RunSpec("db", "baseline", small_config)])
+            engine.run([RunSpec("db", "baseline", small_config)])
         assert len(excinfo.value.batch.failures) == 1
 
     def test_injected_timeout_counts_and_statuses(self, small_config):
@@ -253,7 +253,7 @@ class TestFailurePolicies:
             max_retries=1,
             failure_policy="skip",
         )
-        batch = engine.run_batch([RunSpec("db", "baseline", small_config)])
+        batch = engine.run([RunSpec("db", "baseline", small_config)])
         assert batch.outcomes[0].status == "timeout"
         assert engine.stats.timeouts == 2  # both attempts timed out
 
@@ -265,7 +265,7 @@ class TestFailurePolicies:
             max_retries=0,
             failure_policy="skip",
         )
-        batch = engine.run_batch(
+        batch = engine.run(
             [
                 RunSpec("db", "baseline", small_config),
                 RunSpec("db", "baseline", small_config),
@@ -289,7 +289,7 @@ class TestFailurePolicies:
         )
         plan = FaultPlan(seed=seed, cell_exception=0.5)
         engine = Engine(memory_cache={}, fault_plan=plan, max_retries=1)
-        batch = engine.run_batch([RunSpec("db", "baseline", small_config)])
+        batch = engine.run([RunSpec("db", "baseline", small_config)])
         assert batch.outcomes[0].ok
         assert batch.outcomes[0].attempts == 2
         assert engine.stats.retries == 1
@@ -304,7 +304,7 @@ class TestFailurePolicies:
             failure_policy="skip",
             telemetry=telemetry,
         )
-        engine.run_batch([RunSpec("db", "baseline", small_config)])
+        engine.run([RunSpec("db", "baseline", small_config)])
         counts = telemetry.log.counts()
         assert counts.get("cell_failed") == 1
         assert counts.get("batch_degraded") == 1
@@ -521,7 +521,7 @@ class TestUnarmedTimeout:
         def run():
             outcome["results"] = engine.run(
                 [spec, RunSpec("jess", "baseline", small_config)]
-            )
+            ).values()
 
         thread = threading.Thread(target=run)
         thread.start()

@@ -107,7 +107,9 @@ class TestCacheLayers:
     ):
         engine = Engine(memory_cache={})
         spec = RunSpec("db", "baseline", small_config)
-        results = engine.run([spec, RunSpec("db", "baseline", small_config)])
+        results = engine.run(
+            [spec, RunSpec("db", "baseline", small_config)]
+        ).values()
         assert engine.stats.simulations == 1
         assert engine.stats.deduplicated == 1
         assert results[0] is results[1]

@@ -209,17 +209,17 @@ def bench_parallel_efficiency(
     serial_engine = Engine(jobs=1, use_cache=False, memory_cache={})
     parallel_engine = Engine(jobs=2, use_cache=False, memory_cache={})
     try:
-        parallel_engine.run_batch(specs)  # spawn + warm the pool, untimed
+        parallel_engine.run(specs)  # spawn + warm the pool, untimed
         serial_best: Optional[Dict[str, float]] = None
         parallel_best: Optional[Dict[str, float]] = None
         for _ in range(repeats):
             serial_best = _merge_min(
                 serial_best,
-                _time_once(lambda: serial_engine.run_batch(specs)),
+                _time_once(lambda: serial_engine.run(specs)),
             )
             parallel_best = _merge_min(
                 parallel_best,
-                _time_once(lambda: parallel_engine.run_batch(specs)),
+                _time_once(lambda: parallel_engine.run(specs)),
             )
     finally:
         parallel_engine.close()
