@@ -11,9 +11,15 @@ Examples::
 The ``run`` command executes a single benchmark/scheme cell with
 telemetry: ``--trace PATH`` writes a Chrome-trace JSON loadable in
 ``chrome://tracing`` / Perfetto (one track per CU, one per hotspot, the
-policy decision lane, and the engine worker lane), ``--metrics`` prints
-the event/metric summary tables, and ``--stats-json PATH`` (available on
-every command) dumps the engine's counters as machine-readable JSON.
+policy decision lane, and the engine worker lane) and works on every
+backend — with ``--backend local:4`` or ``ssh:hostfile`` the workers
+capture their tuning events and the engine clock-aligns them into one
+merged trace with per-worker tracks (docs/INTERNALS.md §15).
+``--metrics`` prints the event/metric summary tables, ``--progress``
+streams a live per-cell heartbeat (done/total, in-flight, ETA) to
+stderr, ``--record [DIR]`` writes a flight-recorder JSONL manifest of
+the run, and ``--stats-json PATH`` (all available on every command)
+dumps the engine's counters as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -121,12 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome-trace JSON (chrome://tracing / Perfetto) of "
         "the tuning-event timeline ('run' command; forces a live, "
-        "uncached simulation)",
+        "uncached simulation).  Works on every --backend: pool workers "
+        "capture their events and the engine merges them into one "
+        "clock-aligned trace with per-worker tracks",
     )
     parser.add_argument(
         "--metrics",
         action="store_true",
         help="print the telemetry event/metric summary after the run",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live per-cell progress heartbeat (done/total, "
+        "cells in flight, ETA) to stderr",
+    )
+    parser.add_argument(
+        "--record",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="DIR",
+        help="write a flight-recorder JSONL manifest of the run (backend "
+        "config, per-cell outcomes, degradation notes); DIR may be a "
+        "directory or a .jsonl path, default results/runs/",
     )
     parser.add_argument(
         "--stats-json",
@@ -191,6 +215,42 @@ def make_fault_plan(args):
         raise SystemExit(2)
 
 
+def make_progress_printer(args):
+    """The ``--progress`` stderr heartbeat (or None when not asked)."""
+    if not args.progress:
+        return None
+
+    def _print(progress) -> None:
+        eta = (
+            f", eta {progress.eta_s:.0f}s"
+            if progress.eta_s is not None
+            else ""
+        )
+        print(
+            f"[{progress.done}/{progress.total}] "
+            f"{progress.spec.benchmark_name}/{progress.spec.scheme} "
+            f"({progress.source}, {progress.in_flight} in flight{eta})",
+            file=sys.stderr,
+        )
+
+    return _print
+
+
+def make_recorder(args):
+    """Resolve ``--record`` into a FlightRecorder (or None)."""
+    if args.record is None:
+        return None
+    from repro.obs import FlightRecorder
+
+    target = "results/runs" if args.record == "auto" else args.record
+    if target.endswith(".jsonl"):
+        recorder = FlightRecorder(target)
+    else:
+        recorder = FlightRecorder.in_dir(target)
+    print(f"(flight recorder: {recorder.path})", file=sys.stderr)
+    return recorder
+
+
 def dump_stats_json(args, engine, elapsed: float) -> None:
     """Satisfy ``--stats-json``: engine counters, machine-readable."""
     if args.stats_json is None:
@@ -230,11 +290,11 @@ def run_command(args) -> int:
     options = ExecutionOptions.from_args(args)
     configure_store(options)
     # A traced run must observe live tuning decisions, so both cache
-    # layers are bypassed and the cell runs serially in-process (worker
-    # telemetry would be invisible across a pool boundary); an untraced
-    # run uses the normal layers and the configured backend.
+    # layers are bypassed; the configured backend is used either way —
+    # pool workers capture their telemetry and the engine clock-aligns
+    # it into this session (docs/INTERNALS.md §15).
     engine = Engine(
-        pool="serial" if tracing else options.resolved_backend(),
+        pool=options.resolved_backend(),
         store=None if tracing else get_default_store(),
         use_cache=not tracing,
         telemetry=telemetry,
@@ -242,6 +302,8 @@ def run_command(args) -> int:
         fault_plan=make_fault_plan(args),
         chunk_size=options.chunk_size,
         max_pool_rebuilds=options.max_pool_rebuilds,
+        progress=make_progress_printer(args),
+        recorder=make_recorder(args),
     )
     config = make_config(args)
     start = perf_counter()
@@ -312,6 +374,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failure_policy=args.on_error,
         fault_plan=make_fault_plan(args),
         options=options,
+        progress=make_progress_printer(args),
+        recorder=make_recorder(args),
     )
     config = make_config(args)
     if args.exhibit == "quick":

@@ -25,6 +25,7 @@ from repro.obs.events import (
     BATCH_DEGRADED,
     CACHE_RESIZE,
     CELL_DONE,
+    CELL_EXEC,
     CELL_FAILED,
     CELL_START,
     CONFIG_DEMOTED,
@@ -40,6 +41,7 @@ from repro.obs.events import (
     NULL_TELEMETRY,
     NullTelemetry,
     PHASE_TRANSITION,
+    PROGRESS,
     RECONFIG_APPLIED,
     RECONFIG_DENIED,
     RETRY,
@@ -59,6 +61,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -66,20 +69,32 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.remote import (
+    DEFAULT_CELL_EVENT_CAP,
+    ChunkCapture,
+    merge_chunk_info,
+    merge_metrics,
+    rebase_start_us,
+    snapshot_metrics,
+)
 
 __all__ = [
     "BATCH_DEGRADED",
     "CACHE_RESIZE",
     "CELL_DONE",
+    "CELL_EXEC",
     "CELL_FAILED",
     "CELL_START",
     "CONFIG_DEMOTED",
     "CONFIG_PINNED",
     "CONFIG_TRIED",
+    "ChunkCapture",
     "Counter",
+    "DEFAULT_CELL_EVENT_CAP",
     "EVENT_TYPES",
     "Event",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "HOTSPOT_DETECTED",
     "HOTSPOT_INVOKE",
@@ -91,6 +106,7 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTelemetry",
     "PHASE_TRANSITION",
+    "PROGRESS",
     "RECONFIG_APPLIED",
     "RECONFIG_DENIED",
     "RETRY",
@@ -103,6 +119,10 @@ __all__ = [
     "WALL_CLOCK_EVENTS",
     "WORKER_CRASH",
     "chrome_trace",
+    "merge_chunk_info",
+    "merge_metrics",
+    "rebase_start_us",
+    "snapshot_metrics",
     "summary_markdown",
     "timeline_markdown",
     "write_chrome_trace",

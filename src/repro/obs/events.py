@@ -63,6 +63,12 @@ TIMEOUT_DISABLED = "timeout_disabled"
 POOL_SPAWNED = "pool_spawned"
 POOL_REUSED = "pool_reused"
 WORKER_WARMUP = "worker_warmup"
+# Wall-clock distributed-telemetry events (docs/INTERNALS.md §15):
+# ``cell_exec`` spans mark where a cell actually executed (one track per
+# worker process, clock-rebased into the parent timeline); ``progress``
+# is the engine's per-cell heartbeat (done/total, in-flight, ETA).
+CELL_EXEC = "cell_exec"
+PROGRESS = "progress"
 
 #: The complete vocabulary, in rough lifecycle order (used by summaries).
 EVENT_TYPES: Tuple[str, ...] = (
@@ -91,6 +97,8 @@ EVENT_TYPES: Tuple[str, ...] = (
     POOL_SPAWNED,
     POOL_REUSED,
     WORKER_WARMUP,
+    CELL_EXEC,
+    PROGRESS,
 )
 
 #: Events stamped with wall time; everything else uses simulated time.
@@ -109,6 +117,8 @@ WALL_CLOCK_EVENTS = frozenset(
         POOL_SPAWNED,
         POOL_REUSED,
         WORKER_WARMUP,
+        CELL_EXEC,
+        PROGRESS,
     )
 )
 
@@ -231,6 +241,11 @@ class Telemetry:
         self.log = EventLog(max_events)
         self.metrics = MetricsRegistry()
         self._t0 = time.perf_counter()
+        #: Epoch anchor of this session's wall-clock microsecond axis.
+        #: Worker snapshots stamp chunk starts in ``time.time()`` terms;
+        #: :meth:`wall_to_us` maps those onto this session's timeline
+        #: (docs/INTERNALS.md §15 has the full rebase math).
+        self._t0_wall = time.time()
 
     def emit(
         self,
@@ -246,6 +261,13 @@ class Telemetry:
     def now_us(self) -> float:
         """Wall-clock microseconds since this session started."""
         return (time.perf_counter() - self._t0) * 1e6
+
+    def wall_to_us(self, wall: float) -> float:
+        """Map an epoch timestamp (``time.time()``) onto this session's
+        microsecond axis.  Used to rebase worker-side chunk snapshots;
+        callers clamp the estimate into the feasible submission window
+        because the two clocks drift independently."""
+        return (wall - self._t0_wall) * 1e6
 
     def emit_wall(
         self,
@@ -302,6 +324,9 @@ class NullTelemetry:
         pass
 
     def now_us(self) -> float:
+        return 0.0
+
+    def wall_to_us(self, wall: float) -> float:
         return 0.0
 
     def emit_wall(

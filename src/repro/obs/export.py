@@ -9,7 +9,13 @@ Three views of the same :class:`~repro.obs.events.EventLog`:
   time and wall time are separate trace *processes*; every CU, the
   policy, each hotspot, and each engine worker gets its own *thread*
   (track).  Simulated timestamps use retired instructions as the
-  microsecond field — Perfetto's "µs" then simply reads "instructions";
+  microsecond field — Perfetto's "µs" then simply reads "instructions".
+  Tracks merged back from pool workers (docs/INTERNALS.md §15) add two
+  shapes: simulated-clock tracks named ``{origin}|{cell}|{track}`` get
+  one extra trace process per worker origin (each cell's instruction
+  clock restarts at 0, so they must not share the local simulation
+  process), and wall-clock ``host:{origin}`` tracks (``cell_exec``
+  spans, rebased worker events) join the engine process;
 * :func:`timeline_markdown` / :func:`summary_markdown` — the report-layer
   form (`repro.report.exhibits.timeline`).
 """
@@ -18,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.events import (
     EventLog,
@@ -27,8 +33,10 @@ from repro.obs.events import (
 )
 
 #: Trace-process ids: simulated-clock tracks vs. wall-clock tracks.
+#: Remote worker origins take one pid each, from REMOTE_PID_BASE up.
 SIM_PID = 1
 ENGINE_PID = 2
+REMOTE_PID_BASE = 3
 
 
 def _log_of(source: Union[Telemetry, EventLog]) -> EventLog:
@@ -60,7 +68,21 @@ def _track_order(track: str) -> tuple:
         return (2, track)
     if track.startswith("worker:"):
         return (3, track)
-    return (4, track)
+    if track.startswith("host:"):
+        return (4, track)
+    if "|" in track:
+        return (5, track)
+    return (6, track)
+
+
+def _remote_origin(track: str) -> Optional[str]:
+    """The worker origin of a merged remote simulation track, or None.
+
+    Remote tracks are ``{host#pid}|{cell}|{orig track}`` — built by
+    :func:`repro.obs.remote.merge_chunk_info`, which reserves ``|`` for
+    exactly this (no local track name contains one).
+    """
+    return track.split("|", 1)[0] if "|" in track else None
 
 
 def chrome_trace(source: Union[Telemetry, EventLog]) -> Dict[str, object]:
@@ -72,6 +94,22 @@ def chrome_trace(source: Union[Telemetry, EventLog]) -> Dict[str, object]:
     """
     log = _log_of(source)
     tids: Dict[tuple, int] = {}
+    tracks = sorted(log.tracks(), key=_track_order)
+    # One extra trace process per remote worker origin: the simulated
+    # clock restarts per cell, so merged worker timelines must not share
+    # the local simulation process's time axis.
+    origin_pids: Dict[str, int] = {}
+    for track in tracks:
+        origin = _remote_origin(track)
+        if origin is not None and origin not in origin_pids:
+            origin_pids[origin] = REMOTE_PID_BASE + len(origin_pids)
+
+    def _pid_of(track: str, wall_clock: bool) -> int:
+        origin = _remote_origin(track)
+        if origin is not None and not wall_clock:
+            return origin_pids[origin]
+        return ENGINE_PID if wall_clock else SIM_PID
+
     trace_events: List[Dict[str, object]] = [
         {
             "ph": "M", "pid": SIM_PID, "tid": 0,
@@ -84,9 +122,19 @@ def chrome_trace(source: Union[Telemetry, EventLog]) -> Dict[str, object]:
             "args": {"name": "engine (ts = wall-clock us)"},
         },
     ]
-    for track in sorted(log.tracks(), key=_track_order):
-        pid = ENGINE_PID if track.startswith("worker:") or track == "engine" \
-            else SIM_PID
+    for origin, pid in origin_pids.items():
+        trace_events.append(
+            {
+                "ph": "M", "pid": pid, "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"worker {origin} (ts = instructions)"},
+            }
+        )
+    for track in tracks:
+        pid = _pid_of(
+            track,
+            track.startswith(("worker:", "host:")) or track == "engine",
+        )
         tid = len(tids) + 1
         tids[(pid, track)] = tid
         trace_events.append(
@@ -97,7 +145,7 @@ def chrome_trace(source: Union[Telemetry, EventLog]) -> Dict[str, object]:
         )
     body: List[Dict[str, object]] = []
     for event in log:
-        pid = ENGINE_PID if event.wall_clock else SIM_PID
+        pid = _pid_of(event.track, event.wall_clock)
         record: Dict[str, object] = {
             "name": event.name,
             "cat": "engine" if event.wall_clock else "tuning",

@@ -1,0 +1,140 @@
+"""Flight recorder: a persistent per-run JSONL manifest.
+
+Where the event log answers "what did the tuner decide" and the metrics
+registry "how often", the flight recorder answers the post-mortem
+question: *what did this run actually do, and what went wrong* — after
+the process is gone.  One :class:`FlightRecorder` writes one append-only
+JSONL file per engine run, flushed record by record so a crashed or
+killed run still leaves everything it knew on disk:
+
+* ``begin_batch`` — backend spec, worker count, failure policy, retry
+  budget, fault-plan spec, and every cell's ``(benchmark, scheme,
+  config-fingerprint)`` identity;
+* ``cell`` — one record per terminal cell outcome (status, attempts,
+  source layer, error + remote traceback for failures);
+* ``note`` — degradation breadcrumbs (worker crashes, pool rebuilds,
+  degrade-to-serial transitions, unarmed timeouts);
+* ``end_batch`` / ``batch_aborted`` — outcome tally, engine counters,
+  telemetry truncation counts.
+
+The engine attaches a recorder when asked (``Engine(recorder=...)``,
+CLI ``--record``) or when ``$REPRO_FLIGHT_DIR`` names a directory —
+the environment hook exists so CI chaos jobs can dump every run's
+manifest without plumbing a flag through each entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class FlightRecorder:
+    """Append-only JSONL writer for one run's manifest."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def in_dir(
+        cls, directory: Union[str, Path], run_id: Optional[str] = None
+    ) -> "FlightRecorder":
+        """A recorder on a fresh, collision-free file in ``directory``."""
+        if run_id is None:
+            run_id = f"run-{time.time_ns()}-{os.getpid()}"
+        return cls(Path(directory) / f"{run_id}.jsonl")
+
+    @classmethod
+    def from_env(cls) -> Optional["FlightRecorder"]:
+        """A recorder under ``$REPRO_FLIGHT_DIR``, or None when unset."""
+        directory = os.environ.get("REPRO_FLIGHT_DIR")
+        return cls.in_dir(directory) if directory else None
+
+    def _write(self, kind: str, **fields: object) -> None:
+        record: Dict[str, object] = {"ts": time.time(), "kind": kind}
+        record.update(fields)
+        # Append + flush per record: a killed run keeps everything it
+        # managed to learn.  default=repr degrades unserialisable
+        # payloads (an exotic fault-plan field) to their repr instead of
+        # losing the record.
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, default=repr))
+            handle.write("\n")
+
+    # -- engine hooks -------------------------------------------------------
+
+    def begin_batch(
+        self,
+        backend: str,
+        workers: int,
+        failure_policy: str,
+        cell_timeout: Optional[float],
+        max_retries: int,
+        fault_plan: Optional[object],
+        cells: List[Dict[str, object]],
+    ) -> None:
+        self._write(
+            "begin_batch",
+            backend=backend,
+            workers=workers,
+            failure_policy=failure_policy,
+            cell_timeout=cell_timeout,
+            max_retries=max_retries,
+            fault_plan=None if fault_plan is None else repr(fault_plan),
+            cells=cells,
+        )
+
+    def cell(
+        self,
+        benchmark: str,
+        scheme: str,
+        status: str,
+        attempts: int,
+        source: str,
+        error: Optional[str] = None,
+        traceback: Optional[str] = None,
+    ) -> None:
+        self._write(
+            "cell",
+            benchmark=benchmark,
+            scheme=scheme,
+            status=status,
+            attempts=attempts,
+            source=source,
+            error=error,
+            traceback=traceback,
+        )
+
+    def note(self, what: str, **fields: object) -> None:
+        """A degradation breadcrumb (worker crash, degrade-to-serial...)."""
+        self._write("note", what=what, **fields)
+
+    def end_batch(self, batch, stats, events_dropped: int = 0) -> None:
+        self._write(
+            "end_batch",
+            outcomes=batch.counts(),
+            cells=len(batch),
+            degraded=batch.degraded,
+            stats=dataclasses.asdict(stats),
+            events_dropped=events_dropped,
+        )
+
+    def batch_aborted(self, error: BaseException) -> None:
+        self._write("batch_aborted", error=repr(error)[:500])
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, object]]:
+        """Parse a manifest back into its records (inspection helper)."""
+        records = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+        return records
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder({str(self.path)!r})"

@@ -62,6 +62,7 @@ from __future__ import annotations
 import math
 import random
 import time
+import traceback as traceback_mod
 import warnings
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
@@ -86,6 +87,7 @@ from repro.obs.events import (
     NULL_TELEMETRY,
     POOL_REUSED,
     POOL_SPAWNED,
+    PROGRESS,
     RETRY,
     STORE_HIT,
     TIMEOUT,
@@ -93,6 +95,8 @@ from repro.obs.events import (
     WORKER_CRASH,
     WORKER_WARMUP,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.remote import DEFAULT_CELL_EVENT_CAP, merge_chunk_info
 from repro.sim.driver import RunResult, RunSpec
 from repro.sim.options import ExecutionOptions
 from repro.sim.pools import Pool, make_pool
@@ -166,7 +170,9 @@ class CellOutcome:
     (exception exhausted the retry budget), ``"timeout"`` (final error
     was a :class:`CellTimeout`), ``"crashed"`` (worker-process deaths
     exhausted the budget).  Failed cells carry ``repr`` of the final
-    error and ``result=None``.
+    error, ``result=None``, and — when available — the formatted
+    ``traceback`` (a pool worker's via its ``remote_traceback``
+    attribute, or the local one).
     """
 
     spec: RunSpec
@@ -175,6 +181,7 @@ class CellOutcome:
     error: Optional[str] = None
     attempts: int = 0
     source: str = ""
+    traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -250,6 +257,9 @@ class EngineStats:
     #: Cells that requested a timeout the engine could not arm (SIGALRM
     #: needs the main thread) and therefore ran unbounded.
     timeouts_unarmed: int = 0
+    #: Worker-side telemetry events truncated at the per-cell capture
+    #: cap before the snapshot shipped (docs/INTERNALS.md §15).
+    remote_events_dropped: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -258,12 +268,20 @@ class EngineStats:
 
 @dataclass
 class CellProgress:
-    """One progress-callback notification."""
+    """One progress-callback notification.
+
+    ``in_flight`` counts cells currently submitted to the backend and
+    not yet resolved; ``eta_s`` is a uniform-rate estimate of the
+    remaining batch wall-clock (None until one cell has finished, and
+    on the final notification).
+    """
 
     done: int
     total: int
     spec: RunSpec
     source: str
+    in_flight: int = 0
+    eta_s: Optional[float] = None
 
 
 ProgressCallback = Callable[[CellProgress], None]
@@ -341,13 +359,28 @@ class Engine:
         Optional :class:`repro.obs.Telemetry` session.  The engine emits
         wall-clock scheduling events into it (``cell_start``,
         ``cell_done``, ``store_hit``, ``memory_hit``, ``retry``,
-        ``timeout``, and the degradation events ``worker_crash``,
-        ``cell_failed``, ``batch_degraded``, ``timeout_disabled``);
-        cells executed *serially* additionally stream their
-        simulation-side tuning events into the same session.  Pool
-        workers run in other processes (possibly other hosts), so their
-        simulation events are not captured — trace a single cell with
-        the serial backend for the full timeline.
+        ``timeout``, a per-cell ``progress`` heartbeat, and the
+        degradation events ``worker_crash``, ``cell_failed``,
+        ``batch_degraded``, ``timeout_disabled``); cells executed
+        *serially* additionally stream their simulation-side tuning
+        events into the same session.  Cells that run through a pool
+        backend capture their tuning events worker-side instead
+        (bounded per cell by ``remote_capture_events``), ship them back
+        on the chunk reply, and the engine clock-rebases and merges
+        them into this session on per-worker/per-cell tracks — so one
+        unified trace covers every backend (docs/INTERNALS.md §15).
+        The capture is requested only when this session is live;
+        telemetry never changes what a cell computes.
+    remote_capture_events:
+        Per-cell event budget for worker-side capture (default
+        :data:`repro.obs.remote.DEFAULT_CELL_EVENT_CAP`); events beyond
+        it are counted in ``stats.remote_events_dropped``.  ``0``
+        disables worker-side capture entirely.
+    recorder:
+        Optional :class:`repro.obs.FlightRecorder` writing the per-run
+        JSONL manifest (batch config, per-cell outcomes, degradation
+        notes).  Defaults to :meth:`FlightRecorder.from_env`, i.e. a
+        recorder under ``$REPRO_FLIGHT_DIR`` when that is set.
     chunk_size:
         Cells per pool submission.  ``None`` (default) picks
         ``ceil(cells / (workers * 4))`` capped at 8 — enough chunks to
@@ -383,6 +416,8 @@ class Engine:
         warm_start: bool = True,
         pool: Union[str, Pool, None] = None,
         options: Optional[ExecutionOptions] = None,
+        remote_capture_events: Optional[int] = None,
+        recorder: Optional[FlightRecorder] = None,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -423,9 +458,22 @@ class Engine:
             None if chunk_size is None else max(1, int(chunk_size))
         )
         self.warm_start = bool(warm_start)
+        self.remote_capture_events = (
+            DEFAULT_CELL_EVENT_CAP
+            if remote_capture_events is None
+            else max(0, int(remote_capture_events))
+        )
+        self.recorder = (
+            recorder if recorder is not None else FlightRecorder.from_env()
+        )
         self.stats = EngineStats()
         self._unarmed_warned = False
         self._store_pending: List[Tuple[Tuple[str, str, str], RunResult]] = []
+        #: Per-track high-water marks for clock-rebased worker events;
+        #: engine-lifetime so merged tracks stay monotone across batches.
+        self._remote_hwm: Dict[str, float] = {}
+        self._in_flight = 0
+        self._run_t0 = time.perf_counter()
 
     # -- public API --------------------------------------------------------
 
@@ -438,7 +486,48 @@ class Engine:
         ``values()`` slot holds ``None``.
         """
         specs = list(cells)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_batch(
+                backend=self.pool.name,
+                workers=self.pool.workers,
+                failure_policy=self.failure_policy,
+                cell_timeout=self.cell_timeout,
+                max_retries=self.max_retries,
+                fault_plan=self.fault_plan,
+                cells=[self._cell_identity(spec) for spec in specs],
+            )
+        try:
+            batch = self._run_specs(specs)
+        except BaseException as error:
+            if recorder is not None:
+                recorder.batch_aborted(error)
+            raise
+        if recorder is not None:
+            recorder.end_batch(
+                batch, self.stats, self.telemetry.log.dropped
+            )
+        return batch
+
+    @staticmethod
+    def _cell_identity(spec: RunSpec) -> Dict[str, object]:
+        """Flight-recorder identity of one cell (fingerprint if any)."""
+        fingerprint = None
+        if spec.cacheable:
+            try:
+                fingerprint = spec.cache_key()[2]
+            except Exception:
+                fingerprint = None
+        return {
+            "benchmark": spec.benchmark_name,
+            "scheme": spec.scheme,
+            "fingerprint": fingerprint,
+        }
+
+    def _run_specs(self, specs: List[RunSpec]) -> "BatchResult":
         total = len(specs)
+        self._run_t0 = time.perf_counter()
+        self._in_flight = 0
         results: List[Optional[RunResult]] = [None] * total
         self._outcomes: List[Optional[CellOutcome]] = [None] * total
         self._done = 0
@@ -452,9 +541,11 @@ class Engine:
             if hit is not None:
                 result, source = hit
                 results[index] = result
-                self._outcomes[index] = CellOutcome(
+                outcome = CellOutcome(
                     spec=spec, status="ok", result=result, source=source
                 )
+                self._outcomes[index] = outcome
+                self._recorder_cell(outcome)
                 self._notify(spec, source)
                 continue
             if self.use_cache and spec.cacheable:
@@ -477,23 +568,27 @@ class Engine:
             for index in dupes:
                 if source is not None and source.ok:
                     results[index] = results[leader]
-                    self._outcomes[index] = CellOutcome(
+                    outcome = CellOutcome(
                         spec=specs[index],
                         status="ok",
                         result=results[leader],
                         attempts=0,
                         source=SOURCE_MEMORY,
                     )
+                    self._outcomes[index] = outcome
+                    self._recorder_cell(outcome)
                     self._notify(specs[index], SOURCE_MEMORY)
                 else:
                     # Mirror the leader's failure onto its duplicates.
-                    self._outcomes[index] = CellOutcome(
+                    outcome = CellOutcome(
                         spec=specs[index],
                         status=source.status if source else "failed",
                         error=source.error if source else None,
                         attempts=source.attempts if source else 0,
                         source=SOURCE_FAILED,
                     )
+                    self._outcomes[index] = outcome
+                    self._recorder_cell(outcome)
                     self._notify(specs[index], SOURCE_FAILED)
         batch = BatchResult(self._outcomes)  # type: ignore[arg-type]
         if batch.degraded:
@@ -623,10 +718,47 @@ class Engine:
 
     def _notify(self, spec: RunSpec, source: str) -> None:
         self._done += 1
+        done, total = self._done, self._total
+        eta = None
+        if done < total:
+            elapsed = time.perf_counter() - self._run_t0
+            eta = elapsed / done * (total - done)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit_wall(
+                PROGRESS,
+                done=done,
+                total=total,
+                in_flight=self._in_flight,
+                source=source,
+                benchmark=spec.benchmark_name,
+                scheme=spec.scheme,
+                eta_s=eta,
+            )
         if self.progress is not None:
             self.progress(
-                CellProgress(self._done, self._total, spec, source)
+                CellProgress(
+                    done,
+                    total,
+                    spec,
+                    source,
+                    in_flight=self._in_flight,
+                    eta_s=eta,
+                )
             )
+
+    def _recorder_cell(self, outcome: CellOutcome) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.cell(
+            benchmark=outcome.spec.benchmark_name,
+            scheme=outcome.spec.scheme,
+            status=outcome.status,
+            attempts=outcome.attempts,
+            source=outcome.source,
+            error=outcome.error,
+            traceback=outcome.traceback,
+        )
 
     # -- failure bookkeeping ----------------------------------------------
 
@@ -635,16 +767,18 @@ class Engine:
         results: List[Optional[RunResult]],
     ) -> None:
         results[index] = result
-        self._outcomes[index] = CellOutcome(
+        outcome = CellOutcome(
             spec=spec,
             status="ok",
             result=result,
             attempts=attempts,
             source=SOURCE_SIMULATED,
         )
+        self._outcomes[index] = outcome
         self.stats.simulations += 1
         self.telemetry.metrics.counter("engine.simulations").inc()
         self._record(spec, result)
+        self._recorder_cell(outcome)
         self._notify(spec, SOURCE_SIMULATED)
 
     def _record_failure(
@@ -659,13 +793,22 @@ class Engine:
             status = "crashed"
         else:
             status = "failed"
-        self._outcomes[index] = CellOutcome(
+        tb = getattr(error, "remote_traceback", None)
+        if tb is None and error.__traceback__ is not None:
+            tb = "".join(
+                traceback_mod.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+        outcome = CellOutcome(
             spec=spec,
             status=status,
             error=repr(error),
             attempts=attempts,
             source=SOURCE_FAILED,
+            traceback=tb,
         )
+        self._outcomes[index] = outcome
         self.stats.failures += 1
         telemetry = self.telemetry
         telemetry.emit_wall(
@@ -677,11 +820,14 @@ class Engine:
             error=repr(error)[:200],
         )
         telemetry.metrics.counter("engine.cell_failures").inc()
+        self._recorder_cell(outcome)
         self._notify(spec, SOURCE_FAILED)
 
-    def _note_unarmed_timeout(self) -> None:
-        """A cell's timeout could not be armed (engine off main thread)."""
-        self.stats.timeouts_unarmed += 1
+    def _note_unarmed_timeout(self, count: int = 1) -> None:
+        """Cell timeouts that could not be armed (no usable main thread —
+        either the engine runs off the main thread, or a pool worker's
+        chunk reported ``unarmed_timeouts``)."""
+        self.stats.timeouts_unarmed += count
         if not self._unarmed_warned:
             self._unarmed_warned = True
             self.telemetry.emit_wall(
@@ -714,9 +860,19 @@ class Engine:
             i for i in pending if self._pool_eligible(specs[i])
         ]
         serial = [i for i in pending if i not in set(pool_eligible)]
-        if (
-            self.pool.capabilities.parallel
-            and len(pool_eligible) > 1
+        # A single eligible cell normally runs serially (cheaper, and it
+        # streams simulation telemetry directly) — unless the parent's
+        # telemetry session is live and worker-side capture is on, in
+        # which case routing through the pool exercises the same
+        # capture/merge path a multi-cell batch uses, keeping traces
+        # uniform across batch sizes.
+        if self.pool.capabilities.parallel and (
+            len(pool_eligible) > 1
+            or (
+                pool_eligible
+                and self.telemetry.enabled
+                and self.remote_capture_events > 0
+            )
         ):
             self._run_pool(specs, pool_eligible, results)
         else:
@@ -847,6 +1003,13 @@ class Engine:
                     # fires in the parent process, and a genuinely
                     # poisoned environment at least fails with an
                     # attributable per-cell error.
+                    if self.recorder is not None:
+                        self.recorder.note(
+                            "degraded_to_serial",
+                            backend=self.pool.name,
+                            rebuilds=rebuilds,
+                            cells=len(to_run),
+                        )
                     for index in to_run:
                         self._run_serial(specs[index], index, results)
                     return
@@ -869,6 +1032,13 @@ class Engine:
             error=repr(broken.cause)[:200],
         )
         telemetry.metrics.counter("engine.worker_crashes").inc()
+        if self.recorder is not None:
+            self.recorder.note(
+                "worker_crash",
+                backend=self.pool.name,
+                interrupted=len(broken.interrupted),
+                error=repr(broken.cause)[:200],
+            )
         survivors: List[int] = []
         for index in broken.interrupted:
             spec = specs[index]
@@ -935,6 +1105,36 @@ class Engine:
             for start in range(0, len(indices), size)
         ]
 
+    def _merge_worker_snapshot(
+        self,
+        chunk_info: Optional[Dict],
+        chunk: List[int],
+        submitted_at: Dict[int, float],
+    ) -> None:
+        """Fold one chunk's worker-side telemetry snapshot into the
+        parent session (docs/INTERNALS.md §15).
+
+        Unarmed-timeout counts always merge (they ride even capture-less
+        replies); captured events/metrics clock-rebase onto per-worker
+        and per-cell tracks with engine-lifetime monotonicity.
+        """
+        if not chunk_info:
+            return
+        unarmed = int(chunk_info.get("unarmed_timeouts", 0) or 0)
+        if unarmed:
+            self._note_unarmed_timeout(count=unarmed)
+        if not chunk_info.get("cells"):
+            return
+        telemetry = self.telemetry
+        merged = merge_chunk_info(
+            telemetry,
+            chunk_info,
+            submitted_at_us=min(submitted_at[i] for i in chunk),
+            receipt_us=telemetry.now_us(),
+            hwm=self._remote_hwm,
+        )
+        self.stats.remote_events_dropped += merged["dropped"]
+
     def _pool_round(
         self,
         specs: Sequence[RunSpec],
@@ -958,6 +1158,14 @@ class Engine:
         pool = self._ensure_pool(specs, indices)
         broken_types = pool.broken_exceptions
         futures: Dict = {}
+        # Worker-side telemetry capture is requested only when the
+        # parent session is live, so the NULL_TELEMETRY default keeps
+        # the legacy 3-tuple payload / 2-tuple reply wire traffic.
+        capture = (
+            {"max_events": self.remote_capture_events}
+            if telemetry.enabled and self.remote_capture_events > 0
+            else None
+        )
         try:
 
             def _submit(chunk: List[int]) -> None:
@@ -977,11 +1185,11 @@ class Engine:
                         attempt=attempts[index],
                     )
                     cells.append((index, specs[index], attempts[index]))
-                futures[
-                    pool.submit_chunk(
-                        (tuple(cells), self.cell_timeout, self.fault_plan)
-                    )
-                ] = list(chunk)
+                payload = (tuple(cells), self.cell_timeout, self.fault_plan)
+                if capture is not None:
+                    payload = payload + (capture,)
+                futures[pool.submit_chunk(payload)] = list(chunk)
+                self._in_flight += len(chunk)
 
             def _broken(
                 chunk: List[int], cause: BaseException
@@ -990,6 +1198,7 @@ class Engine:
                 for in_flight in futures.values():
                     interrupted.update(in_flight)
                 futures.clear()
+                self._in_flight = 0
                 return _PoolBroken(sorted(interrupted), cause)
 
             for chunk in self._chunks(indices):
@@ -1005,6 +1214,7 @@ class Engine:
                 )
                 for future in finished:
                     chunk = futures.pop(future)
+                    self._in_flight -= len(chunk)
                     chunk_error = future.exception()
                     if isinstance(chunk_error, broken_types):
                         raise _broken(chunk, chunk_error) from chunk_error
@@ -1017,7 +1227,14 @@ class Engine:
                             (index, "error", chunk_error) for index in chunk
                         ]
                     else:
-                        warmup, outcomes = future.result()
+                        reply = future.result()
+                        if len(reply) > 2:
+                            warmup, outcomes, chunk_info = reply
+                            self._merge_worker_snapshot(
+                                chunk_info, chunk, submitted_at
+                            )
+                        else:
+                            warmup, outcomes = reply
                     if warmup is not None:
                         telemetry.emit_wall(WORKER_WARMUP, **warmup)
                         telemetry.metrics.counter(
@@ -1082,5 +1299,6 @@ class Engine:
             # waiting for in-flight cells of a poisoned batch, and the
             # backend itself is suspect: drop it fail-fast.  The clean
             # exit keeps the warm pool alive for the next batch.
+            self._in_flight = 0
             self.pool.close(fail_fast=True)
             raise

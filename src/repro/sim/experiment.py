@@ -55,6 +55,8 @@ def make_engine(
     failure_policy: str = "raise",
     fault_plan=None,
     options=None,
+    telemetry=None,
+    recorder=None,
 ) -> Engine:
     """An engine wired to the shared memory cache and default store.
 
@@ -62,7 +64,9 @@ def make_engine(
     the backend spec and chunking knobs; the persistent layer stays the
     module default unless the options disable it (``no_store``) or point
     elsewhere (``store_dir`` — applied via :func:`set_default_store` by
-    the CLI before this is called).
+    the CLI before this is called).  ``telemetry`` and ``recorder`` pass
+    straight through to :class:`Engine` (the CLI's ``--trace`` /
+    ``--record`` plumbing).
     """
     return Engine(
         jobs=jobs,
@@ -76,6 +80,8 @@ def make_engine(
         max_pool_rebuilds=(
             3 if options is None else options.max_pool_rebuilds
         ),
+        telemetry=telemetry,
+        recorder=recorder,
     )
 
 

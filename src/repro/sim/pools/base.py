@@ -10,12 +10,18 @@ differential grid proves every backend bit-identical to serial.
 
 The chunk protocol is the one the engine has always used internally
 (:func:`repro.sim.pools.worker.run_chunk`): a payload of
-``(cells, timeout, fault_plan)`` with ``cells`` a tuple of
+``(cells, timeout, fault_plan)`` — extended to ``(cells, timeout,
+fault_plan, capture)`` when the parent's telemetry session is live
+(docs/INTERNALS.md §15) — with ``cells`` a tuple of
 ``(index, spec, attempt)`` triples, answered by
-``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
-or ``(index, "error", exception)``.  Per-cell failures are *returned*,
-never raised — a raised exception from a chunk means the transport or
-the worker itself died.
+``(warmup, outcomes)`` or ``(warmup, outcomes, chunk_info)`` where each
+outcome is ``(index, "ok", result)`` or ``(index, "error", exception)``
+and ``chunk_info`` is the worker's clock-stamped telemetry snapshot.
+Backends pass both shapes through opaquely; an untraced run always
+sends the 3-tuple and receives the 2-tuple, so the default path's wire
+traffic is unchanged.  Per-cell failures are *returned*, never raised —
+a raised exception from a chunk means the transport or the worker
+itself died.
 
 Capability flags tell the engine which degradation semantics apply:
 
@@ -44,12 +50,14 @@ from __future__ import annotations
 
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 #: One submitted cell: (batch index, RunSpec, attempt number).
 ChunkCell = Tuple[int, object, int]
-#: What travels to a worker: (cells, timeout, fault_plan).
-ChunkPayload = Tuple[Tuple[ChunkCell, ...], Optional[float], Optional[object]]
+#: What travels to a worker: ``(cells, timeout, fault_plan)``, plus an
+#: optional trailing telemetry-capture spec when the parent session is
+#: live (see the module docstring; workers accept both arities).
+ChunkPayload = Tuple[object, ...]
 
 
 class CellTimeout(Exception):
@@ -105,7 +113,8 @@ class Pool:
         raise NotImplementedError
 
     def submit_chunk(self, payload: ChunkPayload) -> "Future":
-        """Submit one chunk; the future resolves to ``(warmup, outcomes)``.
+        """Submit one chunk; the future resolves to ``(warmup, outcomes)``
+        or ``(warmup, outcomes, chunk_info)`` (telemetry snapshot).
 
         The pool must be started.  Raises one of
         :attr:`broken_exceptions` (or sets it on the future) when the

@@ -58,7 +58,7 @@ class SerialPool(Pool):
             raise PoolBrokenError("SerialPool is closed")
         import dataclasses
 
-        cells, timeout, plan = payload
+        cells, timeout, plan = payload[:3]
         # No pickle boundary shields the caller here, so two worker-side
         # behaviours must be neutralised inline: ``run_chunk`` mutating
         # ``spec.benchmark`` into a built object (copy each spec), and a
@@ -72,7 +72,9 @@ class SerialPool(Pool):
         if plan is not None and plan.worker_crash:
             plan = dataclasses.replace(plan, worker_crash=0.0)
         return completed_future(
-            worker_mod.run_chunk((safe_cells, timeout, plan))
+            worker_mod.run_chunk(
+                (safe_cells, timeout, plan) + tuple(payload[3:])
+            )
         )
 
     def close(self, fail_fast: bool = False) -> None:

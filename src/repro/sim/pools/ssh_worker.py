@@ -10,7 +10,11 @@ stdin/stdout:
 * frame = 8-byte big-endian length + pickle blob;
 * parent → worker: ``("warm", benchmarks)`` (no reply — the warm-up
   stats ride the next chunk reply, mirroring the local pool),
-  ``("chunk", payload)`` (reply ``("result", (warmup, outcomes))``),
+  ``("chunk", payload)`` (reply ``("result", (warmup, outcomes))`` or,
+  when the payload requested telemetry capture, ``("result", (warmup,
+  outcomes, chunk_info))`` — the worker passes :func:`repro.sim.pools
+  .worker.run_chunk`'s reply through unchanged, so the telemetry
+  snapshot rides the existing protocol with no new message kinds),
   ``("exit",)`` (worker terminates);
 * worker → parent: ``("result", value)`` or ``("error", exception)``
   for a request that blew up outside the per-cell error contract.

@@ -21,9 +21,12 @@ import pickle
 import signal
 import threading
 import time
+import traceback
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faults import FaultPlan, InjectedFault
+from repro.obs.events import TIMEOUT_DISABLED
+from repro.obs.remote import SNAPSHOT_VERSION, ChunkCapture
 from repro.sim.driver import RunResult, RunSpec, execute
 from repro.sim.pools.base import CellTimeout, ChunkPayload
 
@@ -146,32 +149,58 @@ def picklable(error: BaseException) -> BaseException:
 
     Chunk outcomes travel back to the parent in one pickled payload; one
     unpicklable exception must degrade to a readable substitute instead
-    of taking the whole chunk's results down with it.
+    of taking the whole chunk's results down with it.  Either way the
+    formatted traceback rides along as ``remote_traceback`` — pickling
+    strips ``__traceback__`` (frames hold whole stacks alive), and a
+    cross-backend failure with no traceback is undebuggable.
     """
+    tb = "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+    try:
+        # Set before the round-trip test: BaseException pickling carries
+        # ``__dict__``, so the attribute must survive it too.
+        error.remote_traceback = tb
+    except Exception:
+        pass  # __slots__ exceptions: the stand-in still carries it
     try:
         pickle.loads(pickle.dumps(error))
         return error
     except Exception:
-        return RuntimeError(repr(error))
+        stand_in = RuntimeError(repr(error))
+        stand_in.remote_traceback = tb
+        return stand_in
 
 
-def run_chunk(
-    payload: ChunkPayload,
-) -> Tuple[Optional[Dict[str, object]], List[Tuple[int, str, object]]]:
+def run_chunk(payload: ChunkPayload) -> tuple:
     """Top-level chunk entry (must be importable for pickling).
 
-    ``payload`` is ``(cells, timeout, plan)`` with ``cells`` a tuple of
-    ``(index, spec, attempt)`` — the timeout and the fault plan are
-    pickled once per chunk instead of once per cell.  Returns
-    ``(warmup, outcomes)`` where each outcome is ``(index, "ok", result)``
-    or ``(index, "error", error)``; per-cell failures are *returned*, not
-    raised, so one bad cell cannot discard its chunk-mates' finished
-    work.  A worker-crash injection still hard-exits the process, so the
-    parent observes a broken pool exactly like a segfaulting or
-    OOM-killed worker.
+    ``payload`` is ``(cells, timeout, plan)`` — or, when the parent's
+    telemetry session is live, ``(cells, timeout, plan, capture)`` with
+    ``capture`` a plain-dict spec (``{"max_events": N}``) — where
+    ``cells`` is a tuple of ``(index, spec, attempt)``; the timeout and
+    the fault plan are pickled once per chunk instead of once per cell.
+    Returns ``(warmup, outcomes)``, or ``(warmup, outcomes, chunk_info)``
+    when there is telemetry to ship (a requested capture, or unarmed
+    timeouts that must not stay silent); each outcome is
+    ``(index, "ok", result)`` or ``(index, "error", error)``.  Per-cell
+    failures are *returned*, not raised, so one bad cell cannot discard
+    its chunk-mates' finished work.  A worker-crash injection still
+    hard-exits the process, so the parent observes a broken pool exactly
+    like a segfaulting or OOM-killed worker.
+
+    Telemetry never influences execution: cells run identically with and
+    without a capture spec (the bit-identity grid in
+    tests/test_remote_obs.py holds the contract).
     """
     global _WORKER_WARMUP
-    cells, timeout, plan = payload
+    if len(payload) >= 4:
+        cells, timeout, plan, capture_spec = payload[:4]
+    else:
+        cells, timeout, plan = payload
+        capture_spec = None
+    capture = ChunkCapture(capture_spec) if capture_spec else None
+    unarmed = 0
     outcomes: List[Tuple[int, str, object]] = []
     for index, spec, attempt in cells:
         if plan is not None and plan.decide(
@@ -180,13 +209,52 @@ def run_chunk(
             import os
 
             os._exit(17)
+        cell_telemetry = capture.begin_cell() if capture else None
+
+        def _on_unarmed(telemetry=cell_telemetry):
+            nonlocal unarmed
+            unarmed += 1
+            if telemetry is not None:
+                telemetry.emit_wall(
+                    TIMEOUT_DISABLED,
+                    reason=(
+                        "SIGALRM needs the worker's main thread; "
+                        "cell ran unbounded"
+                    ),
+                )
+
+        status = "ok"
         try:
             inject_cell_faults(plan, spec, attempt)
             spec.benchmark = worker_built(spec.benchmark)
             outcomes.append(
-                (index, "ok", run_with_alarm(spec, timeout, fault_plan=plan))
+                (
+                    index,
+                    "ok",
+                    run_with_alarm(
+                        spec,
+                        timeout,
+                        cell_telemetry,
+                        fault_plan=plan,
+                        on_unarmed=_on_unarmed,
+                    ),
+                )
             )
         except Exception as error:  # noqa: BLE001 — parent retries
+            status = "error"
             outcomes.append((index, "error", picklable(error)))
+        finally:
+            if capture is not None:
+                capture.end_cell(index, spec, status)
     warmup, _WORKER_WARMUP = _WORKER_WARMUP, None
+    if capture is not None:
+        return warmup, outcomes, capture.finish(unarmed)
+    if unarmed:
+        # No capture requested, but a disabled timeout must still reach
+        # the parent's counters instead of vanishing in the worker.
+        return warmup, outcomes, {
+            "v": SNAPSHOT_VERSION,
+            "unarmed_timeouts": unarmed,
+            "cells": None,
+        }
     return warmup, outcomes

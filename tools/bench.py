@@ -14,6 +14,13 @@ Times representative cells and writes a ``BENCH_<date>.json`` snapshot:
   cell is a store hit; measures the cache read path);
 * ``engine:jobs2`` — the same batch, fresh store, two worker processes,
   including the pool spawn + warm-up a first batch pays;
+* ``obs:overhead`` — telemetry cost on one hotspot cell, interleaved
+  min-of-N over three variants: ``off`` (no telemetry argument at all),
+  ``null`` (the explicit ``NULL_TELEMETRY`` sink — the instrumented-but-
+  disabled path every untraced run takes), and ``capture`` (a live
+  ``Telemetry`` session).  The gate holds ``null`` within noise of
+  ``off``; the ``capture`` ratio is recorded as context, not gated —
+  tracing is opt-in and allowed to cost something.
 * ``engine:parallel-efficiency`` — steady-state scheduling cost: the
   same batch (caches off, so every cell simulates) through a serial
   engine versus a jobs=2 engine whose persistent pool is already warm.
@@ -91,6 +98,12 @@ WARM_COLD_FACTOR = 0.9
 #: parallel overhead (chunk pickling, result shipping, scheduling) to
 #: stay within this factor of the serial wall clock.
 SINGLE_CORE_OVERHEAD = 1.15
+#: The instrumented-but-disabled telemetry path (NULL_TELEMETRY sink)
+#: must stay within noise of running with no telemetry argument at all:
+#: a multiplicative bound plus a small absolute slack so sub-second
+#: cells don't fail on scheduler jitter.
+OBS_NULL_OVERHEAD_FACTOR = 1.15
+OBS_ABS_SLACK_S = 0.05
 
 
 def _time_once(fn: Callable[[], object]) -> Dict[str, float]:
@@ -135,6 +148,49 @@ def bench_kernel_cell(
         "fast": fast,
         "speedup_wall": reference["wall_s"] / fast["wall_s"],
         "speedup_cpu": reference["cpu_s"] / fast["cpu_s"],
+    }
+
+
+def bench_obs_overhead(budget: int, repeats: int) -> Dict[str, object]:
+    """Interleaved min-of-N telemetry-overhead timing of one hot cell.
+
+    All three variants run back to back inside each repetition so
+    machine noise hits them alike; CPU time is the compared statistic
+    (single process, the less noisy clock).
+    """
+    from repro.obs import NULL_TELEMETRY, Telemetry
+
+    def spec() -> RunSpec:
+        return RunSpec(
+            "db", "hotspot", ExperimentConfig(max_instructions=budget)
+        )
+
+    variants: Dict[str, Optional[Dict[str, float]]] = {
+        "off": None, "null": None, "capture": None,
+    }
+    for _ in range(repeats):
+        variants["off"] = _merge_min(
+            variants["off"], _time_once(lambda: execute(spec()))
+        )
+        variants["null"] = _merge_min(
+            variants["null"],
+            _time_once(lambda: execute(spec(), telemetry=NULL_TELEMETRY)),
+        )
+        variants["capture"] = _merge_min(
+            variants["capture"],
+            _time_once(lambda: execute(spec(), telemetry=Telemetry())),
+        )
+    off, null, capture = (
+        variants["off"], variants["null"], variants["capture"]
+    )
+    return {
+        "budget": budget,
+        "repeats": repeats,
+        "off": off,
+        "null": null,
+        "capture": capture,
+        "null_ratio_cpu": null["cpu_s"] / off["cpu_s"],
+        "capture_ratio_cpu": capture["cpu_s"] / off["cpu_s"],
     }
 
 
@@ -251,6 +307,14 @@ def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
             f"fast cpu={entry['fast']['cpu_s']:.3f}s "
             f"speedup={entry['speedup_cpu']:.2f}x"
         )
+    print("  obs:overhead ...", flush=True)
+    cells["obs:overhead"] = bench_obs_overhead(budget, repeats)
+    obs = cells["obs:overhead"]
+    print(
+        f"    off cpu={obs['off']['cpu_s']:.3f}s "
+        f"null={obs['null_ratio_cpu']:.3f}x "
+        f"capture={obs['capture_ratio_cpu']:.3f}x"
+    )
     print("  engine cells ...", flush=True)
     cells.update(bench_engine_cells(budget // 4, max(1, repeats - 3)))
     efficiency = cells["engine:parallel-efficiency"]
@@ -281,6 +345,8 @@ def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
         },
         "parallel_wall_ratio": efficiency["wall_ratio"],
         "host_cpus": efficiency["host_cpus"],
+        "obs_null_ratio_cpu": obs["null_ratio_cpu"],
+        "obs_capture_ratio_cpu": obs["capture_ratio_cpu"],
     }
     return {
         "schema": SCHEMA,
@@ -331,6 +397,22 @@ def check_against_baseline(
             f"{status}"
         )
         if warm["wall_s"] > limit:
+            failures += 1
+    obs = current["cells"].get("obs:overhead")
+    if obs:
+        limit = (
+            obs["off"]["cpu_s"] * OBS_NULL_OVERHEAD_FACTOR
+            + OBS_ABS_SLACK_S
+        )
+        passed = obs["null"]["cpu_s"] <= limit
+        status = "ok" if passed else "REGRESSION"
+        print(
+            f"  obs:overhead null-sink cpu={obs['null']['cpu_s']:.3f}s "
+            f"(required <= {limit:.3f}s, off={obs['off']['cpu_s']:.3f}s) "
+            f"{status}; capture={obs['capture_ratio_cpu']:.2f}x "
+            f"(recorded, not gated)"
+        )
+        if not passed:
             failures += 1
     efficiency = current["cells"].get("engine:parallel-efficiency")
     if efficiency:
