@@ -6,7 +6,10 @@ docs/INTERNALS.md §11 for the architecture.  Public surface:
 * :class:`FaultPlan` — the seeded, deterministic fault schedule;
 * :class:`InjectedFault` — the exception artificial failures raise;
 * :func:`corrupt_file` — the truncation primitive behind the
-  ``store_corrupt`` site (exposed for tests).
+  ``store_corrupt`` site (exposed for tests);
+* :func:`deterministic_uniform` — the pure ``(seed, site, key)`` hash
+  draw underlying every plan decision (shared by the engine's
+  retry-backoff jitter so chaos runs are reproducible end to end).
 """
 
 from repro.faults.plan import (
@@ -14,6 +17,7 @@ from repro.faults.plan import (
     FaultPlan,
     InjectedFault,
     corrupt_file,
+    deterministic_uniform,
 )
 
 __all__ = [
@@ -21,4 +25,5 @@ __all__ = [
     "InjectedFault",
     "PROBABILITY_SITES",
     "corrupt_file",
+    "deterministic_uniform",
 ]

@@ -23,7 +23,9 @@ overhead contract.
 
 from repro.obs.events import (
     BATCH_DEGRADED,
+    BATCH_RESUMED,
     CACHE_RESIZE,
+    CIRCUIT_OPEN,
     CELL_DONE,
     CELL_EXEC,
     CELL_FAILED,
@@ -34,6 +36,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     Event,
     EventLog,
+    HOST_DOWN,
+    HOST_RECOVERED,
     HOTSPOT_DETECTED,
     HOTSPOT_INVOKE,
     HOTSPOT_UNMANAGED,
@@ -46,7 +50,9 @@ from repro.obs.events import (
     RECONFIG_DENIED,
     RETRY,
     SAMPLING_RETUNE,
+    SPECULATION_WON,
     STORE_HIT,
+    STRAGGLER_DETECTED,
     TIMEOUT,
     TIMEOUT_DISABLED,
     TUNING_STARTED,
@@ -61,7 +67,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.recorder import FlightRecorder
+from repro.obs.recorder import FlightRecorder, ManifestReplay
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -80,7 +86,9 @@ from repro.obs.remote import (
 
 __all__ = [
     "BATCH_DEGRADED",
+    "BATCH_RESUMED",
     "CACHE_RESIZE",
+    "CIRCUIT_OPEN",
     "CELL_DONE",
     "CELL_EXEC",
     "CELL_FAILED",
@@ -96,11 +104,14 @@ __all__ = [
     "EventLog",
     "FlightRecorder",
     "Gauge",
+    "HOST_DOWN",
+    "HOST_RECOVERED",
     "HOTSPOT_DETECTED",
     "HOTSPOT_INVOKE",
     "HOTSPOT_UNMANAGED",
     "Histogram",
     "MEMORY_HIT",
+    "ManifestReplay",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullMetricsRegistry",
@@ -111,7 +122,9 @@ __all__ = [
     "RECONFIG_DENIED",
     "RETRY",
     "SAMPLING_RETUNE",
+    "SPECULATION_WON",
     "STORE_HIT",
+    "STRAGGLER_DETECTED",
     "TIMEOUT",
     "TIMEOUT_DISABLED",
     "TUNING_STARTED",

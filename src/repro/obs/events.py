@@ -69,6 +69,14 @@ WORKER_WARMUP = "worker_warmup"
 # is the engine's per-cell heartbeat (done/total, in-flight, ETA).
 CELL_EXEC = "cell_exec"
 PROGRESS = "progress"
+# Wall-clock resilience events (docs/INTERNALS.md §16): per-host circuit
+# breakers, speculative straggler re-execution, manifest-replay resume.
+HOST_DOWN = "host_down"
+HOST_RECOVERED = "host_recovered"
+CIRCUIT_OPEN = "circuit_open"
+STRAGGLER_DETECTED = "straggler_detected"
+SPECULATION_WON = "speculation_won"
+BATCH_RESUMED = "batch_resumed"
 
 #: The complete vocabulary, in rough lifecycle order (used by summaries).
 EVENT_TYPES: Tuple[str, ...] = (
@@ -99,6 +107,12 @@ EVENT_TYPES: Tuple[str, ...] = (
     WORKER_WARMUP,
     CELL_EXEC,
     PROGRESS,
+    HOST_DOWN,
+    HOST_RECOVERED,
+    CIRCUIT_OPEN,
+    STRAGGLER_DETECTED,
+    SPECULATION_WON,
+    BATCH_RESUMED,
 )
 
 #: Events stamped with wall time; everything else uses simulated time.
@@ -119,6 +133,12 @@ WALL_CLOCK_EVENTS = frozenset(
         WORKER_WARMUP,
         CELL_EXEC,
         PROGRESS,
+        HOST_DOWN,
+        HOST_RECOVERED,
+        CIRCUIT_OPEN,
+        STRAGGLER_DETECTED,
+        SPECULATION_WON,
+        BATCH_RESUMED,
     )
 )
 

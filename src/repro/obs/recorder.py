@@ -21,6 +21,17 @@ The engine attaches a recorder when asked (``Engine(recorder=...)``,
 CLI ``--record``) or when ``$REPRO_FLIGHT_DIR`` names a directory —
 the environment hook exists so CI chaos jobs can dump every run's
 manifest without plumbing a flag through each entry point.
+
+Manifests are also the substrate of crash-safe resume
+(docs/INTERNALS.md §16): ``repro run --resume MANIFEST`` replays the
+records via :meth:`FlightRecorder.replay` to learn which cells already
+reached a terminal state, then re-runs the campaign under the same
+fingerprints so finished work is answered by the result store instead
+of re-simulated.  Three properties make the replay trustworthy: every
+record carries a ``schema`` version, batch begin/end records are
+fsynced (a manifest that *starts* is durably marked as such), and a
+torn trailing line — the expected wound of a SIGKILL mid-write — is
+skipped with a warning rather than poisoning the whole file.
 """
 
 from __future__ import annotations
@@ -29,8 +40,45 @@ import dataclasses
 import json
 import os
 import time
+import warnings
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+#: Manifest record schema.  v1 (implicit, PR 7) had no schema field and
+#: no fingerprints on cell records; v2 adds both plus resume linkage.
+SCHEMA_VERSION = 2
+
+#: A cell's replay identity: ``(benchmark, scheme, fingerprint)`` — the
+#: same triple that keys the result store, so "done in the manifest"
+#: and "answerable by the store" agree.
+CellIdentity = Tuple[str, str, str]
+
+
+@dataclasses.dataclass
+class ManifestReplay:
+    """What a prior run's manifest says about each cell.
+
+    ``done``/``failed`` hold identities whose last ``cell`` record was
+    terminal-ok / terminal-not-ok; ``declared`` holds every identity
+    the ``begin_batch`` record announced (so never-started cells are
+    ``declared - done - failed``).  ``completed`` is True when the
+    manifest reached ``end_batch`` — resuming a batch that finished is
+    legal but usually a sign the wrong manifest was named.
+    """
+
+    path: Path
+    declared: Set[CellIdentity]
+    done: Set[CellIdentity]
+    failed: Set[CellIdentity]
+    completed: bool
+    aborted: bool
+
+    def classify(self, identity: CellIdentity) -> str:
+        if identity in self.done:
+            return "done"
+        if identity in self.failed:
+            return "failed"
+        return "new"
 
 
 class FlightRecorder:
@@ -55,16 +103,26 @@ class FlightRecorder:
         directory = os.environ.get("REPRO_FLIGHT_DIR")
         return cls.in_dir(directory) if directory else None
 
-    def _write(self, kind: str, **fields: object) -> None:
-        record: Dict[str, object] = {"ts": time.time(), "kind": kind}
+    def _write(self, kind: str, _sync: bool = False, **fields: object) -> None:
+        record: Dict[str, object] = {
+            "ts": time.time(),
+            "kind": kind,
+            "schema": SCHEMA_VERSION,
+        }
         record.update(fields)
         # Append + flush per record: a killed run keeps everything it
         # managed to learn.  default=repr degrades unserialisable
         # payloads (an exotic fault-plan field) to their repr instead of
-        # losing the record.
+        # losing the record.  Batch lifecycle records additionally
+        # fsync: resume must be able to trust that a manifest which
+        # names its cells really started (and one with ``end_batch``
+        # really finished) even across power loss.
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True, default=repr))
             handle.write("\n")
+            if _sync:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     # -- engine hooks -------------------------------------------------------
 
@@ -77,9 +135,12 @@ class FlightRecorder:
         max_retries: int,
         fault_plan: Optional[object],
         cells: List[Dict[str, object]],
+        resume_of: Optional[str] = None,
+        resume_counts: Optional[Dict[str, int]] = None,
     ) -> None:
         self._write(
             "begin_batch",
+            _sync=True,
             backend=backend,
             workers=workers,
             failure_policy=failure_policy,
@@ -87,6 +148,8 @@ class FlightRecorder:
             max_retries=max_retries,
             fault_plan=None if fault_plan is None else repr(fault_plan),
             cells=cells,
+            resume_of=resume_of,
+            resume_counts=resume_counts,
         )
 
     def cell(
@@ -98,6 +161,7 @@ class FlightRecorder:
         source: str,
         error: Optional[str] = None,
         traceback: Optional[str] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self._write(
             "cell",
@@ -108,6 +172,7 @@ class FlightRecorder:
             source=source,
             error=error,
             traceback=traceback,
+            fingerprint=fingerprint,
         )
 
     def note(self, what: str, **fields: object) -> None:
@@ -117,6 +182,7 @@ class FlightRecorder:
     def end_batch(self, batch, stats, events_dropped: int = 0) -> None:
         self._write(
             "end_batch",
+            _sync=True,
             outcomes=batch.counts(),
             cells=len(batch),
             degraded=batch.degraded,
@@ -125,16 +191,87 @@ class FlightRecorder:
         )
 
     def batch_aborted(self, error: BaseException) -> None:
-        self._write("batch_aborted", error=repr(error)[:500])
+        self._write("batch_aborted", _sync=True, error=repr(error)[:500])
 
     @staticmethod
     def read(path: Union[str, Path]) -> List[Dict[str, object]]:
-        """Parse a manifest back into its records (inspection helper)."""
+        """Parse a manifest back into its records (inspection helper).
+
+        Tolerant of torn lines: a record whose write was cut off by a
+        SIGKILL (or a disk-full truncation) is skipped with a warning
+        rather than raised — everything decodable is still returned,
+        which is exactly what ``--resume`` needs from a crashed run.
+        """
         records = []
-        for line in Path(path).read_text(encoding="utf-8").splitlines():
-            if line.strip():
+        for number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{path}:{number}: skipping undecodable manifest "
+                    f"line ({len(line)} bytes; torn write?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return records
+
+    @staticmethod
+    def replay(path: Union[str, Path]) -> ManifestReplay:
+        """Replay a manifest into per-cell terminal states for resume.
+
+        Identities come from ``begin_batch`` (declared) and ``cell``
+        records (terminal outcomes); only records that carry a
+        fingerprint participate — a v1 manifest without fingerprints
+        yields an empty partition and the resume degenerates to a
+        plain re-run (correct, just without the bookkeeping).  When a
+        cell appears more than once (a batch resumed twice), the last
+        record wins.
+        """
+        path = Path(path)
+        declared: Set[CellIdentity] = set()
+        last_status: Dict[CellIdentity, str] = {}
+        completed = False
+        aborted = False
+        for record in FlightRecorder.read(path):
+            kind = record.get("kind")
+            if kind == "begin_batch":
+                for cell in record.get("cells") or []:
+                    fingerprint = cell.get("fingerprint")
+                    if fingerprint:
+                        declared.add(
+                            (
+                                str(cell.get("benchmark")),
+                                str(cell.get("scheme")),
+                                str(fingerprint),
+                            )
+                        )
+            elif kind == "cell":
+                fingerprint = record.get("fingerprint")
+                if fingerprint:
+                    identity = (
+                        str(record.get("benchmark")),
+                        str(record.get("scheme")),
+                        str(fingerprint),
+                    )
+                    last_status[identity] = str(record.get("status"))
+            elif kind == "end_batch":
+                completed = True
+            elif kind == "batch_aborted":
+                aborted = True
+        done = {i for i, s in last_status.items() if s == "ok"}
+        failed = {i for i in last_status if i not in done}
+        return ManifestReplay(
+            path=path,
+            declared=declared | done | failed,
+            done=done,
+            failed=failed,
+            completed=completed,
+            aborted=aborted,
+        )
 
     def __repr__(self) -> str:
         return f"FlightRecorder({str(self.path)!r})"

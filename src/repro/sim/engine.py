@@ -60,12 +60,13 @@ parent process — they are not guaranteed picklable and are never cached.
 from __future__ import annotations
 
 import math
-import random
+import statistics
 import time
 import traceback as traceback_mod
 import warnings
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -77,30 +78,36 @@ from typing import (
     Union,
 )
 
-from repro.faults import FaultPlan, corrupt_file
+from repro.faults import FaultPlan, corrupt_file, deterministic_uniform
 from repro.obs.events import (
     BATCH_DEGRADED,
+    BATCH_RESUMED,
     CELL_DONE,
     CELL_FAILED,
     CELL_START,
+    HOST_DOWN,
+    HOST_RECOVERED,
     MEMORY_HIT,
     NULL_TELEMETRY,
     POOL_REUSED,
     POOL_SPAWNED,
     PROGRESS,
     RETRY,
+    SPECULATION_WON,
     STORE_HIT,
+    STRAGGLER_DETECTED,
     TIMEOUT,
     TIMEOUT_DISABLED,
     WORKER_CRASH,
     WORKER_WARMUP,
 )
-from repro.obs.recorder import FlightRecorder
+from repro.obs.recorder import FlightRecorder, ManifestReplay
 from repro.obs.remote import DEFAULT_CELL_EVENT_CAP, merge_chunk_info
 from repro.sim.driver import RunResult, RunSpec
 from repro.sim.options import ExecutionOptions
 from repro.sim.pools import Pool, make_pool
 from repro.sim.pools.base import CellTimeout  # noqa: F401 — re-export
+from repro.sim.pools.base import HostDownError
 from repro.sim.pools.worker import inject_cell_faults, run_with_alarm
 from repro.sim.store import ResultStore
 
@@ -260,6 +267,22 @@ class EngineStats:
     #: Worker-side telemetry events truncated at the per-cell capture
     #: cap before the snapshot shipped (docs/INTERNALS.md §15).
     remote_events_dropped: int = 0
+    #: Resilience counters (docs/INTERNALS.md §16).  Hosts whose
+    #: circuit breaker opened / were re-admitted by a half-open probe:
+    hosts_down: int = 0
+    hosts_recovered: int = 0
+    #: Cells rerouted to surviving hosts after a single-host death
+    #: (the pool stayed up; contrast ``pool_rebuilds``).
+    cells_rerouted: int = 0
+    #: Straggling chunks speculatively re-submitted, and races the
+    #: speculative copy won.
+    stragglers_detected: int = 0
+    speculations_won: int = 0
+    #: ``run(..., resume=manifest)`` partition of the batch's cells
+    #: against the prior run's manifest (done / failed / never-started).
+    resumed_done: int = 0
+    resumed_failed: int = 0
+    resumed_new: int = 0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -338,6 +361,29 @@ class Engine:
         Base of the exponential backoff slept before each retry
         (seconds; ``attempt n`` waits ``base * 2**(n-1)``, jittered
         ±50 %, capped at 30 s).  ``0`` (default) disables backoff.
+        The jitter is drawn from the deterministic fault hash
+        (seeded by ``fault_plan.seed``, or 0 without a plan) keyed on
+        the cell's identity and attempt — never from global ``random``
+        — so chaos runs with backoff enabled replay identically.
+    straggler_factor:
+        Straggler mitigation (docs/INTERNALS.md §16): when set, a
+        chunk whose runtime exceeds ``straggler_factor`` times the
+        robust per-chunk estimate (median + 3×MAD of completed cell
+        durations) is speculatively re-submitted to an idle worker;
+        first result wins, the loser is cancelled, and when both
+        complete their results are asserted bit-identical.  ``None``
+        (default) disables speculation.  Only meaningful on parallel
+        backends with spare capacity.
+    resume:
+        Crash-safe resume (docs/INTERNALS.md §16): a flight-recorder
+        manifest path from a previous (killed) run.  The manifest is
+        replayed to partition this batch's cells into done / failed /
+        never-started (``stats.resumed_*``); execution itself is
+        unchanged — finished cells are answered by the result store
+        under the same fingerprints (zero re-simulation; entries GC'd
+        from the store simply re-execute), and the new manifest links
+        back to the original (``resume_of``).  Consumed by the next
+        :meth:`run` call; ``run(cells, resume=...)`` overrides.
     max_pool_rebuilds:
         How many times a batch may rebuild a broken backend (worker
         crash recovery) before degrading to in-process serial execution
@@ -418,6 +464,8 @@ class Engine:
         options: Optional[ExecutionOptions] = None,
         remote_capture_events: Optional[int] = None,
         recorder: Optional[FlightRecorder] = None,
+        straggler_factor: Optional[float] = None,
+        resume: Union[str, Path, None] = None,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -434,6 +482,8 @@ class Engine:
                 chunk_size = options.chunk_size
             if max_pool_rebuilds == 3:
                 max_pool_rebuilds = options.max_pool_rebuilds
+            if straggler_factor is None:
+                straggler_factor = options.straggler_factor
             if store is None:
                 store = options.make_store()
         if pool is None:
@@ -466,6 +516,12 @@ class Engine:
         self.recorder = (
             recorder if recorder is not None else FlightRecorder.from_env()
         )
+        self.straggler_factor = (
+            None
+            if straggler_factor is None or straggler_factor <= 0
+            else float(straggler_factor)
+        )
+        self._resume: Union[str, Path, None] = resume
         self.stats = EngineStats()
         self._unarmed_warned = False
         self._store_pending: List[Tuple[Tuple[str, str, str], RunResult]] = []
@@ -477,15 +533,28 @@ class Engine:
 
     # -- public API --------------------------------------------------------
 
-    def run(self, cells: Sequence[RunSpec]) -> "BatchResult":
+    def run(
+        self,
+        cells: Sequence[RunSpec],
+        resume: Union[str, Path, None] = None,
+    ) -> "BatchResult":
         """Resolve every cell (cache, store, or backend) into a
         :class:`BatchResult` of per-cell :class:`CellOutcome`\\ s.
 
         ``run(cells).values()`` gives the old list-of-results shape.
         Under ``failure_policy="skip"``/``"partial"`` a failed cell's
-        ``values()`` slot holds ``None``.
+        ``values()`` slot holds ``None``.  ``resume`` names a previous
+        run's flight-recorder manifest to replay (see the constructor
+        docstring); it overrides any ``Engine(resume=...)`` default.
         """
         specs = list(cells)
+        resume_path = resume if resume is not None else self._resume
+        self._resume = None
+        replay: Optional[ManifestReplay] = None
+        resume_counts: Optional[Dict[str, int]] = None
+        if resume_path is not None:
+            replay = FlightRecorder.replay(resume_path)
+            resume_counts = self._apply_resume(specs, replay)
         recorder = self.recorder
         if recorder is not None:
             recorder.begin_batch(
@@ -496,6 +565,8 @@ class Engine:
                 max_retries=self.max_retries,
                 fault_plan=self.fault_plan,
                 cells=[self._cell_identity(spec) for spec in specs],
+                resume_of=None if replay is None else str(replay.path),
+                resume_counts=resume_counts,
             )
         try:
             batch = self._run_specs(specs)
@@ -508,6 +579,43 @@ class Engine:
                 batch, self.stats, self.telemetry.log.dropped
             )
         return batch
+
+    def _apply_resume(
+        self, specs: List[RunSpec], replay: ManifestReplay
+    ) -> Dict[str, int]:
+        """Partition this batch's cells against a prior run's manifest.
+
+        The partition is bookkeeping, not a scheduling change: done
+        cells still flow through the normal lookup path, where the
+        result store answers them under the same fingerprint (zero
+        re-simulation).  A store entry GC'd between the runs simply
+        misses and re-executes — resume is idempotent, never trusting
+        the manifest over the store.
+        """
+        counts = {"done": 0, "failed": 0, "new": 0}
+        for spec in specs:
+            identity = self._cell_identity(spec)
+            fingerprint = identity["fingerprint"]
+            kind = (
+                replay.classify(
+                    (identity["benchmark"], identity["scheme"], fingerprint)
+                )
+                if fingerprint
+                else "new"
+            )
+            counts[kind] += 1
+        self.stats.resumed_done += counts["done"]
+        self.stats.resumed_failed += counts["failed"]
+        self.stats.resumed_new += counts["new"]
+        self.telemetry.emit_wall(
+            BATCH_RESUMED,
+            resume_of=str(replay.path),
+            prior_completed=replay.completed,
+            prior_aborted=replay.aborted,
+            **counts,
+        )
+        self.telemetry.metrics.counter("engine.batches_resumed").inc()
+        return counts
 
     @staticmethod
     def _cell_identity(spec: RunSpec) -> Dict[str, object]:
@@ -627,12 +735,26 @@ class Engine:
         return self.run([spec]).values()[0]
 
     def close(self) -> None:
-        """Shut down the execution backend (idempotent).
+        """Shut down the execution backend (idempotent, exception-safe).
 
         Waits for idle shutdown; the engine stays usable — the next
         parallel batch simply starts (and re-warms) the backend again.
+        Safe on a half-constructed engine (a constructor that raised
+        before assigning the pool) and on a pool whose backend state is
+        already broken — e.g. closing after a degrade-to-serial: a
+        failing idle shutdown is retried fail-fast, and a backend that
+        will not even do that is abandoned rather than propagated.
         """
-        self.pool.close(fail_fast=False)
+        pool = getattr(self, "pool", None)
+        if pool is None:
+            return
+        try:
+            pool.close(fail_fast=False)
+        except Exception:
+            try:
+                pool.close(fail_fast=True)
+            except Exception:
+                pass
 
     def __enter__(self) -> "Engine":
         return self
@@ -641,8 +763,11 @@ class Engine:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover — GC timing
+        pool = getattr(self, "pool", None)
+        if pool is None:
+            return
         try:
-            self.pool.close(fail_fast=True)
+            pool.close(fail_fast=True)
         except Exception:
             pass
 
@@ -750,6 +875,9 @@ class Engine:
     def _recorder_cell(self, outcome: CellOutcome) -> None:
         if self.recorder is None:
             return
+        # The fingerprint makes the cell record replayable: ``--resume``
+        # matches manifest records to store entries by the same triple.
+        identity = self._cell_identity(outcome.spec)
         self.recorder.cell(
             benchmark=outcome.spec.benchmark_name,
             scheme=outcome.spec.scheme,
@@ -758,6 +886,7 @@ class Engine:
             source=outcome.source,
             error=outcome.error,
             traceback=outcome.traceback,
+            fingerprint=identity["fingerprint"],
         )
 
     # -- failure bookkeeping ----------------------------------------------
@@ -778,6 +907,12 @@ class Engine:
         self.stats.simulations += 1
         self.telemetry.metrics.counter("engine.simulations").inc()
         self._record(spec, result)
+        if self.recorder is not None:
+            # Write-ahead ordering for crash-safe resume (docs §16): the
+            # store write must be durable before the manifest says
+            # "done", so a SIGKILL between the two re-executes the cell
+            # rather than trusting a record the store cannot back.
+            self._flush_store()
         self._recorder_cell(outcome)
         self._notify(spec, SOURCE_SIMULATED)
 
@@ -788,7 +923,8 @@ class Engine:
         if isinstance(error, CellTimeout):
             status = "timeout"
         elif isinstance(
-            error, (_PoolBroken,) + self.pool.broken_exceptions
+            error,
+            (_PoolBroken, HostDownError) + self.pool.broken_exceptions,
         ):
             status = "crashed"
         else:
@@ -836,17 +972,47 @@ class Engine:
             )
             self.telemetry.metrics.counter("engine.timeouts_unarmed").inc()
 
-    def _sleep_backoff(self, attempt: int) -> None:
+    def _sleep_backoff(
+        self, attempt: int, spec: Optional[RunSpec] = None
+    ) -> None:
         """Exponential backoff with jitter before retry ``attempt + 1``.
 
-        Wall-clock pacing only — it never influences results, so the
-        jitter may be (and is) non-deterministic.
+        Wall-clock pacing only — it never influences results.  The
+        jitter is nonetheless deterministic: it comes from the same
+        pure ``(seed, site, key)`` hash the fault plan uses (seed 0
+        without a plan), keyed on the cell identity and attempt — so a
+        chaos run with backoff enabled replays with identical pacing,
+        never touching global ``random`` state.
         """
         base = self.retry_backoff
         if base <= 0.0:
             return
         delay = min(base * 2.0 ** max(0, attempt - 1), 30.0)
-        time.sleep(delay * (0.5 + random.random()))
+        seed = 0 if self.fault_plan is None else self.fault_plan.seed
+        key = (
+            ("pool", attempt)
+            if spec is None
+            else (spec.benchmark_name, spec.scheme, attempt)
+        )
+        jitter = deterministic_uniform(seed, "retry_backoff", key)
+        time.sleep(delay * (0.5 + jitter))
+
+    def _drain_health(self) -> None:
+        """Forward the pool's buffered health transitions into
+        telemetry, stats, and the flight recorder (docs §16)."""
+        events = self.pool.drain_health_events()
+        if not events:
+            return
+        telemetry = self.telemetry
+        for name, fields in events:
+            if name == HOST_DOWN:
+                self.stats.hosts_down += 1
+            elif name == HOST_RECOVERED:
+                self.stats.hosts_recovered += 1
+            telemetry.emit_wall(name, backend=self.pool.name, **fields)
+            telemetry.metrics.counter(f"engine.{name}").inc()
+            if self.recorder is not None:
+                self.recorder.note(name, backend=self.pool.name, **fields)
 
     # -- execution ---------------------------------------------------------
 
@@ -946,7 +1112,7 @@ class Engine:
                     attempt=attempts,
                 )
                 telemetry.metrics.counter("engine.retries").inc()
-                self._sleep_backoff(attempts)
+                self._sleep_backoff(attempts, spec)
         telemetry.emit_wall(
             CELL_DONE,
             track="worker:0",
@@ -986,6 +1152,7 @@ class Engine:
                 )
                 return
             except _PoolBroken as broken:
+                self._drain_health()
                 to_run = self._survivors_of_crash(
                     specs, broken, attempts, results
                 )
@@ -1158,6 +1325,14 @@ class Engine:
         pool = self._ensure_pool(specs, indices)
         broken_types = pool.broken_exceptions
         futures: Dict = {}
+        #: Straggler-mitigation state (docs/INTERNALS.md §16): wall-clock
+        #: start per chunk future, primary↔twin links (both directions),
+        #: the twins themselves, and completed per-cell durations feeding
+        #: the median+MAD runtime estimate.
+        chunk_started: Dict = {}
+        twins: Dict = {}
+        speculative: set = set()
+        durations: List[float] = []
         # Worker-side telemetry capture is requested only when the
         # parent session is live, so the NULL_TELEMETRY default keeps
         # the legacy 3-tuple payload / 2-tuple reply wire traffic.
@@ -1188,8 +1363,16 @@ class Engine:
                 payload = (tuple(cells), self.cell_timeout, self.fault_plan)
                 if capture is not None:
                     payload = payload + (capture,)
-                futures[pool.submit_chunk(payload)] = list(chunk)
-                self._in_flight += len(chunk)
+                future = pool.submit_chunk(payload)
+                futures[future] = list(chunk)
+                chunk_started[future] = time.perf_counter()
+                _sync_in_flight()
+
+            def _sync_in_flight() -> None:
+                # Distinct cells, so a speculation twin never double-counts.
+                self._in_flight = len(
+                    {i for members in futures.values() for i in members}
+                )
 
             def _broken(
                 chunk: List[int], cause: BaseException
@@ -1201,6 +1384,93 @@ class Engine:
                 self._in_flight = 0
                 return _PoolBroken(sorted(interrupted), cause)
 
+            def _speculate(
+                straggler, chunk: List[int], elapsed: float, estimate: float
+            ) -> None:
+                """Twin a straggling chunk onto an idle worker.
+
+                The twin re-runs the same cells at the *same* attempt
+                numbers (no retry budget consumed, no second
+                ``cell_start``) — speculation is pure scheduling, so the
+                fault plan's per-attempt decisions replay identically
+                while host-keyed delays redraw on the new host.
+                """
+                cells = tuple(
+                    (index, specs[index], attempts[index]) for index in chunk
+                )
+                payload = (cells, self.cell_timeout, self.fault_plan)
+                if capture is not None:
+                    payload = payload + (capture,)
+                try:
+                    twin = pool.submit_chunk(payload)
+                except broken_types as error:
+                    raise _broken(chunk, error) from error
+                futures[twin] = list(chunk)
+                chunk_started[twin] = time.perf_counter()
+                twins[straggler] = twin
+                twins[twin] = straggler
+                speculative.add(twin)
+                self.stats.stragglers_detected += 1
+                telemetry.emit_wall(
+                    STRAGGLER_DETECTED,
+                    cells=[
+                        [specs[i].benchmark_name, specs[i].scheme]
+                        for i in chunk
+                    ],
+                    elapsed_s=round(elapsed, 4),
+                    estimate_s=round(estimate, 4),
+                )
+                telemetry.metrics.counter("engine.stragglers_detected").inc()
+                if self.recorder is not None:
+                    self.recorder.note(
+                        "straggler_detected",
+                        cells=len(chunk),
+                        elapsed_s=round(elapsed, 4),
+                        estimate_s=round(estimate, 4),
+                    )
+
+            def _check_stragglers() -> None:
+                factor = self.straggler_factor
+                if factor is None or len(durations) < 3:
+                    return  # no robust estimate yet
+                median = statistics.median(durations)
+                spread = statistics.median(
+                    [abs(d - median) for d in durations]
+                )
+                baseline = median + 3.0 * spread
+                if baseline <= 0.0:
+                    return
+                now = time.perf_counter()
+                for straggler, chunk in list(futures.items()):
+                    if len(futures) >= max(1, pool.workers):
+                        return  # no idle worker to speculate into
+                    if straggler in twins:
+                        continue  # already twinned (or is itself a twin)
+                    elapsed = now - chunk_started[straggler]
+                    estimate = factor * baseline * len(chunk)
+                    if elapsed > estimate:
+                        _speculate(straggler, chunk, elapsed, estimate)
+
+            def _assert_bit_identical(winner, loser, chunk: List[int]) -> None:
+                """Both speculation copies finished: their per-cell results
+                must be bit-identical (determinism is the contract every
+                backend is tested against; a divergence here is a real
+                bug, never noise to paper over)."""
+                winner_map = {i: (s, v) for i, s, v in winner.result()[1]}
+                loser_map = {i: (s, v) for i, s, v in loser.result()[1]}
+                for index in chunk:
+                    w_status, w_value = winner_map.get(index, (None, None))
+                    l_status, l_value = loser_map.get(index, (None, None))
+                    if w_status == "ok" and l_status == "ok" \
+                            and w_value != l_value:
+                        raise RuntimeError(
+                            "speculative re-execution of cell "
+                            f"({specs[index].benchmark_name!r}, "
+                            f"{specs[index].scheme!r}) diverged from the "
+                            "primary — results must be bit-identical "
+                            "across hosts (determinism contract violated)"
+                        )
+
             for chunk in self._chunks(indices):
                 try:
                     _submit(chunk)
@@ -1208,26 +1478,96 @@ class Engine:
                     raise _broken(
                         chunk, error
                     ) from error  # pool died mid-submission
+            # With speculation enabled the wait polls so a straggling
+            # chunk is noticed while its future is still pending.
+            poll = 0.05 if self.straggler_factor is not None else None
             while futures:
                 finished, _ = wait(
-                    list(futures), return_when=FIRST_COMPLETED
+                    list(futures), timeout=poll, return_when=FIRST_COMPLETED
                 )
+                self._drain_health()
                 for future in finished:
+                    if future not in futures:
+                        continue  # loser of an already-settled race
                     chunk = futures.pop(future)
-                    self._in_flight -= len(chunk)
+                    started = chunk_started.pop(future, None)
+                    partner = twins.pop(future, None)
+                    if partner is not None:
+                        twins.pop(partner, None)
                     chunk_error = future.exception()
                     if isinstance(chunk_error, broken_types):
                         raise _broken(chunk, chunk_error) from chunk_error
+                    if (
+                        chunk_error is not None
+                        and partner is not None
+                        and partner in futures
+                    ):
+                        # One speculation copy died (e.g. HostDownError —
+                        # its host's breaker opened) while the other is
+                        # still live: drop this copy silently; the
+                        # survivor carries the cells at the same attempt
+                        # numbers.
+                        _sync_in_flight()
+                        continue
+                    if (
+                        chunk_error is None
+                        and partner is not None
+                        and partner in futures
+                    ):
+                        # First result wins the speculation race.
+                        futures.pop(partner)
+                        chunk_started.pop(partner, None)
+                        cancelled = partner.cancel()
+                        if (
+                            not cancelled
+                            and partner.done()
+                            and partner.exception() is None
+                        ):
+                            _assert_bit_identical(future, partner, chunk)
+                        if future in speculative:
+                            self.stats.speculations_won += 1
+                            telemetry.emit_wall(
+                                SPECULATION_WON,
+                                cells=[
+                                    [
+                                        specs[i].benchmark_name,
+                                        specs[i].scheme,
+                                    ]
+                                    for i in chunk
+                                ],
+                                loser_cancelled=cancelled,
+                            )
+                            telemetry.metrics.counter(
+                                "engine.speculations_won"
+                            ).inc()
+                            if self.recorder is not None:
+                                self.recorder.note(
+                                    "speculation_won",
+                                    cells=len(chunk),
+                                    loser_cancelled=cancelled,
+                                )
                     if chunk_error is not None:
                         # The chunk itself failed (not one of its cells —
-                        # e.g. an unpicklable payload): feed the error to
-                        # every member through the normal retry machinery.
+                        # e.g. an unpicklable payload, or a HostDownError
+                        # for a chunk stranded on a dead host): feed the
+                        # error to every member through the normal retry
+                        # machinery, which resubmits to surviving workers.
+                        if isinstance(chunk_error, HostDownError):
+                            self.stats.cells_rerouted += len(chunk)
+                            telemetry.metrics.counter(
+                                "engine.cells_rerouted"
+                            ).inc(len(chunk))
                         warmup = None
                         outcomes = [
                             (index, "error", chunk_error) for index in chunk
                         ]
                     else:
                         reply = future.result()
+                        if started is not None and chunk:
+                            per_cell = (
+                                time.perf_counter() - started
+                            ) / len(chunk)
+                            durations.extend([per_cell] * len(chunk))
                         if len(reply) > 2:
                             warmup, outcomes, chunk_info = reply
                             self._merge_worker_snapshot(
@@ -1285,7 +1625,7 @@ class Engine:
                             attempt=attempts[index],
                         )
                         telemetry.metrics.counter("engine.retries").inc()
-                        self._sleep_backoff(attempts[index])
+                        self._sleep_backoff(attempts[index], spec)
                         retry.append(index)
                     for index in retry:
                         try:
@@ -1294,6 +1634,9 @@ class Engine:
                             raise _broken(
                                 [index], pool_error
                             ) from pool_error
+                    _sync_in_flight()
+                _check_stragglers()
+            self._drain_health()
         except BaseException:
             # Fatal exits (CellExecutionError, _PoolBroken) must not sit
             # waiting for in-flight cells of a poisoned batch, and the

@@ -57,16 +57,18 @@ def make_engine(
     options=None,
     telemetry=None,
     recorder=None,
+    resume=None,
 ) -> Engine:
     """An engine wired to the shared memory cache and default store.
 
     ``options`` (an :class:`repro.sim.options.ExecutionOptions`) carries
-    the backend spec and chunking knobs; the persistent layer stays the
-    module default unless the options disable it (``no_store``) or point
-    elsewhere (``store_dir`` — applied via :func:`set_default_store` by
-    the CLI before this is called).  ``telemetry`` and ``recorder`` pass
-    straight through to :class:`Engine` (the CLI's ``--trace`` /
-    ``--record`` plumbing).
+    the backend spec, chunking, and straggler knobs; the persistent
+    layer stays the module default unless the options disable it
+    (``no_store``) or point elsewhere (``store_dir`` — applied via
+    :func:`set_default_store` by the CLI before this is called).
+    ``telemetry``, ``recorder``, and ``resume`` (a prior run's
+    flight-recorder manifest) pass straight through to :class:`Engine`
+    (the CLI's ``--trace`` / ``--record`` / ``--resume`` plumbing).
     """
     return Engine(
         jobs=jobs,
@@ -80,8 +82,12 @@ def make_engine(
         max_pool_rebuilds=(
             3 if options is None else options.max_pool_rebuilds
         ),
+        straggler_factor=(
+            None if options is None else options.straggler_factor
+        ),
         telemetry=telemetry,
         recorder=recorder,
+        resume=resume,
     )
 
 

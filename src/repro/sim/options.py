@@ -44,6 +44,10 @@ class ExecutionOptions:
     chunk_size: Optional[int] = None
     #: Pool rebuilds per batch before degrading to serial.
     max_pool_rebuilds: int = 3
+    #: Straggler mitigation: speculatively re-submit a chunk running
+    #: longer than this multiple of the robust runtime estimate
+    #: (``None`` = disabled; docs/INTERNALS.md §16).
+    straggler_factor: Optional[float] = None
 
     def resolved_backend(self) -> str:
         if self.backend is not None:
@@ -111,6 +115,15 @@ class ExecutionOptions:
             help="worker-crash pool rebuilds per batch before degrading "
             "to serial execution (default: 3)",
         )
+        parser.add_argument(
+            "--straggler-factor",
+            type=float,
+            default=None,
+            metavar="X",
+            help="speculatively re-submit a chunk running longer than X "
+            "times the robust per-chunk runtime estimate; first result "
+            "wins, results stay bit-identical (default: disabled)",
+        )
 
     @classmethod
     def from_args(cls, args) -> "ExecutionOptions":
@@ -121,4 +134,5 @@ class ExecutionOptions:
             no_store=bool(getattr(args, "no_store", False)),
             chunk_size=getattr(args, "chunk_size", None),
             max_pool_rebuilds=getattr(args, "max_pool_rebuilds", 3),
+            straggler_factor=getattr(args, "straggler_factor", None),
         )

@@ -8,7 +8,10 @@ One registry maps backend *specs* — the strings ``Engine(pool=...)``,
     local[:N]           warm persistent process pool, N workers
     ssh:HOSTFILE        per-host warm workers over ssh (one host[:slots]
                         per hostfile line)
-    ssh-loopback[:N]    SSHPool wire protocol without sshd (CI/tests)
+    ssh-loopback[:N]    SSHPool wire protocol without sshd (CI/tests);
+                        N single-slot *hosts* (``loop0``..``loopN-1``),
+                        so per-host health/circuit-breaker semantics
+                        (docs/INTERNALS.md §16) are exercisable locally
 
 ``make_pool("local:4")`` returns the pool; ``register_backend`` adds
 new ones (the factory receives the text after the first ``:``, or
@@ -23,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 from repro.sim.pools.base import (
     CellTimeout,
     ChunkPayload,
+    HostDownError,
     Pool,
     PoolBrokenError,
     PoolCapabilities,
@@ -39,6 +43,7 @@ from repro.sim.pools.ssh import (
 __all__ = [
     "CellTimeout",
     "ChunkPayload",
+    "HostDownError",
     "LocalProcessPool",
     "Pool",
     "PoolBrokenError",
@@ -121,8 +126,12 @@ def _make_ssh(arg: Optional[str]) -> Pool:
 
 def _make_ssh_loopback(arg: Optional[str]) -> Pool:
     workers = _int_arg(arg, 2, f"ssh-loopback:{arg}")
+    # N single-slot hosts (not one N-slot host): each loopback worker is
+    # its own "host", so losing one exercises the surgical per-host
+    # removal / circuit-breaker path instead of whole-pool breakage.
     return SSHPool(
-        hosts=[("loopback", workers)], transport=loopback_transport
+        hosts=[(f"loop{i}", 1) for i in range(workers)],
+        transport=loopback_transport,
     )
 
 

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 #: One submitted cell: (batch index, RunSpec, attempt number).
 ChunkCell = Tuple[int, object, int]
@@ -76,6 +76,25 @@ class PoolBrokenError(RuntimeError):
     treats anything in :attr:`Pool.broken_exceptions` as a crash and
     runs its rebuild/degrade machinery.
     """
+
+
+class HostDownError(RuntimeError):
+    """One *host* of a multi-host pool died; the pool itself survives.
+
+    Deliberately **not** in :attr:`Pool.broken_exceptions`: a chunk
+    future carrying this error means "these cells were interrupted, but
+    there is capacity left — resubmit them" (docs/INTERNALS.md §16).
+    The engine reroutes the chunk's cells to the surviving hosts
+    through its ordinary per-cell retry machinery instead of tearing
+    the whole pool down, and counts them in ``stats.cells_rerouted``.
+    Only when the *last* host dies does the pool fall back to
+    :class:`PoolBrokenError` and the rebuild/degrade path.
+    """
+
+    def __init__(self, host: str, cause: BaseException):
+        super().__init__(f"pool host {host!r} went down: {cause!r}")
+        self.host = host
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -139,6 +158,33 @@ class Pool:
         teardown).
         """
         raise NotImplementedError
+
+    # -- health (docs/INTERNALS.md §16) -------------------------------------
+
+    def report_health(self) -> Dict[str, Dict[str, object]]:
+        """Per-host health snapshot, keyed by host name.
+
+        Multi-host backends report one entry per host with at least
+        ``state`` (``"closed"``/``"open"``/``"half_open"`` circuit
+        state), ``live_workers``, ``consecutive_failures``, and
+        ``incarnation`` (how many times the host's workers have been
+        (re)spawned).  Single-process backends have no host granularity
+        and return ``{}`` — the engine treats that as "always healthy".
+        """
+        return {}
+
+    def drain_health_events(self) -> List[Tuple[str, Dict[str, object]]]:
+        """Health transitions since the last drain, oldest first.
+
+        Each entry is ``(event_name, fields)`` with ``event_name`` one
+        of :data:`repro.obs.events.HOST_DOWN` /
+        :data:`~repro.obs.events.HOST_RECOVERED` /
+        :data:`~repro.obs.events.CIRCUIT_OPEN`.  The engine drains this
+        buffer after every pool round and forwards the transitions into
+        telemetry, stats, and the flight recorder — the pool itself
+        never needs a telemetry handle.
+        """
+        return []
 
     @property
     def alive(self) -> bool:

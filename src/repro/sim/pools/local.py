@@ -69,8 +69,10 @@ class SerialPool(Pool):
             (index, dataclasses.replace(spec), attempt)
             for index, spec, attempt in cells
         )
-        if plan is not None and plan.worker_crash:
-            plan = dataclasses.replace(plan, worker_crash=0.0)
+        if plan is not None and (plan.worker_crash or plan.host_down):
+            plan = dataclasses.replace(
+                plan, worker_crash=0.0, host_down=0.0
+            )
         return completed_future(
             worker_mod.run_chunk(
                 (safe_cells, timeout, plan) + tuple(payload[3:])

@@ -14,10 +14,25 @@ worker process.  Source sync is explicit: :meth:`SSHPool.push_sources`
 builds and runs per-host ``rsync -az`` commands when ``remote_root`` is
 configured (start() invokes it once, before spawning workers).
 
-Failure semantics: a worker whose pipe closes mid-request marks the
-whole pool broken (the analogue of ``BrokenProcessPool``), the engine
-rebuilds through :meth:`Pool.rebuild` and resubmits interrupted cells —
-capability flags ``rebuild=True, remote=True``.
+Failure semantics (docs/INTERNALS.md §16): partial failure is
+first-class.  Every host carries a **circuit breaker** — ``closed``
+while healthy, ``open`` after ``failure_threshold`` consecutive worker
+deaths (or the host's last worker dying), ``half_open`` when an
+exponential-backoff timer expires and a probe respawns the host's
+workers and pings them.  A chunk interrupted by one host's death is
+handed back to the engine as :class:`~repro.sim.pools.base
+.HostDownError` — *not* a member of ``broken_exceptions`` — so the
+engine reroutes those cells to the surviving hosts instead of tearing
+the pool down; only the death of the **last** live worker marks the
+whole pool broken (``PoolBrokenError``, the analogue of
+``BrokenProcessPool``) and engages the engine's rebuild machinery.
+Idle dispatcher threads additionally heartbeat their worker with
+``ping`` requests riding the chunk protocol, so a silently dead pipe
+is discovered within ``heartbeat_s`` instead of at the next chunk.
+Health transitions are buffered and surfaced through
+:meth:`Pool.drain_health_events` / :meth:`Pool.report_health`; host
+incarnation counters survive ``close()``/``start()`` so deterministic
+``host_down`` fault schedules stay stable across pool rebuilds.
 """
 
 from __future__ import annotations
@@ -28,12 +43,15 @@ import shlex
 import subprocess
 import sys
 import threading
+import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.events import CIRCUIT_OPEN, HOST_DOWN, HOST_RECOVERED
 from repro.sim.pools.base import (
     ChunkPayload,
+    HostDownError,
     Pool,
     PoolBrokenError,
     PoolCapabilities,
@@ -53,7 +71,7 @@ def loopback_transport(host: str) -> List[str]:
 
     The empty prefix makes :class:`SSHPool` exec the worker module with
     the current interpreter — the full wire protocol (framed pickles,
-    warm-up, crash-at-EOF) is exercised without any network.
+    warm-up, heartbeats, crash-at-EOF) is exercised without any network.
     """
     return []
 
@@ -81,6 +99,10 @@ class _SSHWorker:
     def __init__(self, host: str, slot: int, command: List[str], env=None):
         self.host = host
         self.slot = slot
+        #: Set when the worker's host was surgically removed (circuit
+        #: opened); its dispatcher thread exits instead of serving, and
+        #: its death is not double-counted against the breaker.
+        self.retired = False
         self.proc = subprocess.Popen(
             command,
             stdin=subprocess.PIPE,
@@ -115,6 +137,53 @@ class _SSHWorker:
             pass
 
 
+class _HostBreaker:
+    """Circuit-breaker state for one host (docs/INTERNALS.md §16).
+
+    ``closed`` → (``failure_threshold`` consecutive worker deaths, or
+    the last live worker dying) → ``open`` → (backoff expires) →
+    ``half_open`` probe → ``closed`` on success, back to ``open`` with
+    doubled backoff on failure.  ``incarnation`` counts every (re)spawn
+    of the host's workers and survives pool ``close()``/``start()`` —
+    it keys the deterministic ``host_down`` fault schedule, so one seed
+    scripts which incarnations of a host are dead.
+    """
+
+    __slots__ = (
+        "host",
+        "slots",
+        "state",
+        "workers",
+        "consecutive_failures",
+        "openings",
+        "opened_at",
+        "incarnation",
+    )
+
+    def __init__(self, host: str, slots: int):
+        self.host = host
+        self.slots = slots
+        self.state = "closed"
+        self.workers: List[_SSHWorker] = []
+        self.consecutive_failures = 0
+        #: How many times the breaker has opened (drives the backoff).
+        self.openings = 0
+        self.opened_at = 0.0
+        self.incarnation = 0
+
+    def backoff_s(self, base: float, cap: float) -> float:
+        return min(base * 2.0 ** max(0, self.openings - 1), cap)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "live_workers": len(self.workers),
+            "consecutive_failures": self.consecutive_failures,
+            "openings": self.openings,
+            "incarnation": self.incarnation,
+        }
+
+
 class SSHPool(Pool):
     """Fan experiment chunks out to warm workers on remote hosts."""
 
@@ -130,6 +199,10 @@ class SSHPool(Pool):
         remote_python: str = "python3",
         remote_root: Optional[str] = None,
         rsync: str = "rsync",
+        heartbeat_s: float = 5.0,
+        failure_threshold: int = 2,
+        breaker_backoff_s: float = 0.5,
+        breaker_backoff_cap_s: float = 30.0,
     ):
         if isinstance(hosts, (str, Path)):
             parsed = parse_hostfile(hosts)
@@ -145,17 +218,35 @@ class SSHPool(Pool):
         self.remote_python = remote_python
         self.remote_root = remote_root
         self.rsync = rsync
+        self.heartbeat_s = max(0.05, float(heartbeat_s))
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.breaker_backoff_s = max(0.0, float(breaker_backoff_s))
+        self.breaker_backoff_cap_s = max(
+            self.breaker_backoff_s, float(breaker_backoff_cap_s)
+        )
         self.workers = sum(slots for _, slots in self.hosts)
-        self._workers: List[_SSHWorker] = []
+        #: Breakers live for the pool's lifetime (incarnation counters
+        #: must survive close()/start() — see class docstring).
+        self._breakers: Dict[str, _HostBreaker] = {
+            host: _HostBreaker(host, slots) for host, slots in self.hosts
+        }
         self._threads: List[threading.Thread] = []
         self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._events: List[Tuple[str, Dict[str, object]]] = []
+        self._warm: Tuple[str, ...] = ()
+        self._started = False
         self._broken = False
-        self._live_workers = 0
         self._lock = threading.Lock()
 
     # -- process management -------------------------------------------------
 
-    def _worker_command(self, host: str) -> Tuple[List[str], Optional[dict]]:
+    def _worker_command(
+        self, host: str, incarnation: int
+    ) -> Tuple[List[str], Optional[dict]]:
+        identity = {
+            "REPRO_WORKER_HOST": host,
+            "REPRO_HOST_INCARNATION": str(incarnation),
+        }
         prefix = self.transport(host)
         if not prefix:
             # Loopback: same interpreter, source tree resolved from the
@@ -166,11 +257,18 @@ class SSHPool(Pool):
             env["PYTHONPATH"] = src + (
                 os.pathsep + existing if existing else ""
             )
+            env.update(identity)
             return (
                 [sys.executable, "-u", "-m", "repro.sim.pools.ssh_worker"],
                 env,
             )
-        invoke = f"{self.remote_python} -u -m repro.sim.pools.ssh_worker"
+        assigns = " ".join(
+            f"{name}={shlex.quote(value)}"
+            for name, value in identity.items()
+        )
+        invoke = (
+            f"{assigns} {self.remote_python} -u -m repro.sim.pools.ssh_worker"
+        )
         if self.remote_root:
             invoke = (
                 f"cd {shlex.quote(self.remote_root)} && "
@@ -199,44 +297,80 @@ class SSHPool(Pool):
                 continue
             subprocess.run(self.sync_command(host, source), check=True)
 
+    def _spawn_host(self, breaker: _HostBreaker) -> List[_SSHWorker]:
+        """Spawn one host's workers at a fresh incarnation (lock held
+        by nobody — spawning blocks; breaker mutation is append-only)."""
+        breaker.incarnation += 1
+        command, env = self._worker_command(
+            breaker.host, breaker.incarnation
+        )
+        spawned: List[_SSHWorker] = []
+        for slot in range(breaker.slots):
+            worker = _SSHWorker(breaker.host, slot, command, env=env)
+            if self._warm:
+                try:
+                    worker.send(("warm", self._warm))
+                except OSError:
+                    pass  # surfaces as dead on first request
+            spawned.append(worker)
+        return spawned
+
+    def _serve_worker(self, worker: _SSHWorker) -> None:
+        thread = threading.Thread(
+            target=self._serve, args=(worker,), daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+
     def start(self, warm_benchmarks: Sequence[str] = ()) -> bool:
-        if self._workers:
+        if self._started:
             return False
         self._broken = False
         self.push_sources()
-        warm = tuple(dict.fromkeys(warm_benchmarks))
-        for host, slots in self.hosts:
-            command, env = self._worker_command(host)
-            for slot in range(slots):
-                try:
-                    worker = _SSHWorker(host, slot, command, env=env)
-                except OSError as error:
-                    self.close(fail_fast=True)
-                    raise PoolBrokenError(
-                        f"cannot start ssh worker on {host}: {error}"
-                    ) from error
-                if warm:
-                    try:
-                        worker.send(("warm", warm))
-                    except OSError:
-                        pass  # surfaces as broken on first chunk
-                self._workers.append(worker)
-        self._live_workers = len(self._workers)
-        for worker in self._workers:
-            thread = threading.Thread(
-                target=self._serve, args=(worker,), daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        self._warm = tuple(dict.fromkeys(warm_benchmarks))
+        for breaker in self._breakers.values():
+            breaker.state = "closed"
+            breaker.consecutive_failures = 0
+            breaker.openings = 0
+            try:
+                breaker.workers = self._spawn_host(breaker)
+            except OSError as error:
+                self.close(fail_fast=True)
+                raise PoolBrokenError(
+                    f"cannot start ssh worker on {breaker.host}: {error}"
+                ) from error
+        self._started = True
+        for breaker in self._breakers.values():
+            for worker in breaker.workers:
+                self._serve_worker(worker)
         return True
 
     # -- dispatch -----------------------------------------------------------
 
     def _serve(self, worker: _SSHWorker) -> None:
-        """One dispatcher thread per worker: pull a job, do a round trip."""
+        """One dispatcher thread per worker: pull a job, do a round trip.
+
+        An idle thread heartbeats its worker every ``heartbeat_s`` with
+        a ``ping`` round trip, so a silently dead pipe is discovered
+        between chunks rather than at the next submission.
+        """
         while True:
-            job = self._jobs.get()
+            if worker.retired:
+                return
+            try:
+                job = self._jobs.get(timeout=self.heartbeat_s)
+            except queue.Empty:
+                try:
+                    worker.request(("ping", worker.slot))
+                except (PoolBrokenError, OSError, EOFError) as error:
+                    self._worker_died(worker, None, error)
+                    return
+                continue
             if job is None:
+                return
+            if worker.retired:
+                # Hand the job to a live worker's thread and bow out.
+                self._jobs.put(job)
                 return
             payload, future = job
             if not future.set_running_or_notify_cancel():
@@ -244,7 +378,7 @@ class SSHPool(Pool):
             try:
                 reply = worker.request(("chunk", payload))
             except (PoolBrokenError, OSError, EOFError) as error:
-                self._mark_broken(future, error)
+                self._worker_died(worker, future, error)
                 return
             except Exception as error:  # noqa: BLE001 — e.g. unpicklable
                 # A request that could not even be serialised is a chunk
@@ -252,6 +386,7 @@ class SSHPool(Pool):
                 # (frames are built before any byte is written).
                 future.set_exception(error)
                 continue
+            self._worker_ok(worker)
             if reply[0] == "result":
                 future.set_result(reply[1])
             else:
@@ -259,16 +394,90 @@ class SSHPool(Pool):
                 # engine's chunk-retry machinery via the future.
                 future.set_exception(reply[1])
 
-    def _mark_broken(self, future: "Future", cause: BaseException) -> None:
-        broken = PoolBrokenError(
-            f"ssh pool worker died: {cause!r}"
-        )
+    def _live_count(self) -> int:
+        return sum(len(b.workers) for b in self._breakers.values())
+
+    def _worker_ok(self, worker: _SSHWorker) -> None:
         with self._lock:
-            self._broken = True
-            self._live_workers -= 1
-            last = self._live_workers <= 0
-        future.set_exception(broken)
-        if last:
+            breaker = self._breakers[worker.host]
+            breaker.consecutive_failures = 0
+
+    def _open_breaker(self, breaker: _HostBreaker, cause) -> None:
+        """Transition a host to ``open`` (lock held): retire its
+        remaining workers and schedule the half-open probe."""
+        breaker.openings += 1
+        breaker.state = "open"
+        breaker.opened_at = time.monotonic()
+        retired, breaker.workers = breaker.workers, []
+        for survivor in retired:
+            survivor.retired = True
+        self._events.append(
+            (
+                CIRCUIT_OPEN,
+                {
+                    "host": breaker.host,
+                    "incarnation": breaker.incarnation,
+                    "failures": breaker.consecutive_failures,
+                    "retry_in_s": breaker.backoff_s(
+                        self.breaker_backoff_s, self.breaker_backoff_cap_s
+                    ),
+                    "error": repr(cause)[:200],
+                },
+            )
+        )
+        # Kill outside the event append but still under the lock: stop()
+        # only signals processes, it never touches breaker state.
+        for survivor in retired:
+            survivor.stop(fail_fast=True)
+
+    def _worker_died(
+        self,
+        worker: _SSHWorker,
+        future: Optional["Future"],
+        cause: BaseException,
+    ) -> None:
+        """A dispatcher observed its worker's death.  Surgical path:
+        count the failure against the host's breaker, reroute the
+        interrupted chunk via :class:`HostDownError`, and only declare
+        the pool broken when no live worker remains anywhere."""
+        with self._lock:
+            breaker = self._breakers[worker.host]
+            already_retired = worker.retired
+            worker.retired = True
+            if worker in breaker.workers:
+                breaker.workers.remove(worker)
+            if not already_retired:
+                breaker.consecutive_failures += 1
+                host_dead = not breaker.workers
+                if host_dead and breaker.state != "open":
+                    self._events.append(
+                        (
+                            HOST_DOWN,
+                            {
+                                "host": breaker.host,
+                                "incarnation": breaker.incarnation,
+                                "error": repr(cause)[:200],
+                            },
+                        )
+                    )
+                if breaker.state != "open" and (
+                    host_dead
+                    or breaker.consecutive_failures
+                    >= self.failure_threshold
+                ):
+                    self._open_breaker(breaker, cause)
+            pool_dead = self._live_count() == 0
+            if pool_dead:
+                self._broken = True
+        worker.stop(fail_fast=True)
+        if future is not None:
+            if pool_dead:
+                future.set_exception(
+                    PoolBrokenError(f"ssh pool worker died: {cause!r}")
+                )
+            else:
+                future.set_exception(HostDownError(worker.host, cause))
+        if pool_dead:
             # No worker left to drain the queue: fail everything pending
             # so the engine never blocks on a dead pool.
             while True:
@@ -279,18 +488,123 @@ class SSHPool(Pool):
                 if job is not None and job[1].set_running_or_notify_cancel():
                     job[1].set_exception(PoolBrokenError("ssh pool is dead"))
 
+    # -- circuit maintenance ------------------------------------------------
+
+    def _maintain(self) -> None:
+        """Probe open breakers whose backoff expired (half-open round).
+
+        Runs synchronously in :meth:`submit_chunk` — probing costs one
+        host spawn + ping round trip, paid by the submitter rather than
+        a background thread, so the pool has no idle machinery to leak.
+        """
+        now = time.monotonic()
+        with self._lock:
+            due = [
+                breaker
+                for breaker in self._breakers.values()
+                if breaker.state == "open"
+                and now
+                >= breaker.opened_at
+                + breaker.backoff_s(
+                    self.breaker_backoff_s, self.breaker_backoff_cap_s
+                )
+            ]
+            for breaker in due:
+                breaker.state = "half_open"
+        for breaker in due:
+            self._probe(breaker)
+
+    def _probe(self, breaker: _HostBreaker) -> None:
+        """Half-open probe: respawn the host's workers, ping each one;
+        success re-admits the host, failure re-opens with a doubled
+        backoff."""
+        spawned: List[_SSHWorker] = []
+        try:
+            spawned = self._spawn_host(breaker)
+            for worker in spawned:
+                reply = worker.request(("ping", "probe"))
+                if reply[0] != "result":  # pragma: no cover — defensive
+                    raise PoolBrokenError(
+                        f"probe of {breaker.host} answered {reply[0]!r}"
+                    )
+        except (PoolBrokenError, OSError, EOFError) as error:
+            for worker in spawned:
+                worker.retired = True
+                worker.stop(fail_fast=True)
+            with self._lock:
+                breaker.openings += 1
+                breaker.state = "open"
+                breaker.opened_at = time.monotonic()
+                self._events.append(
+                    (
+                        CIRCUIT_OPEN,
+                        {
+                            "host": breaker.host,
+                            "incarnation": breaker.incarnation,
+                            "failures": breaker.consecutive_failures,
+                            "retry_in_s": breaker.backoff_s(
+                                self.breaker_backoff_s,
+                                self.breaker_backoff_cap_s,
+                            ),
+                            "error": repr(error)[:200],
+                        },
+                    )
+                )
+            return
+        with self._lock:
+            breaker.workers = spawned
+            breaker.consecutive_failures = 0
+            breaker.state = "closed"
+            self._broken = False
+            self._events.append(
+                (
+                    HOST_RECOVERED,
+                    {
+                        "host": breaker.host,
+                        "incarnation": breaker.incarnation,
+                        "workers": len(spawned),
+                    },
+                )
+            )
+        for worker in spawned:
+            self._serve_worker(worker)
+
+    # -- submission / health ------------------------------------------------
+
     def submit_chunk(self, payload: ChunkPayload) -> "Future":
-        if not self._workers:
+        if not self._started:
             raise PoolBrokenError("SSHPool is not started")
-        if self._broken:
-            raise PoolBrokenError("SSHPool is broken (worker died)")
+        self._maintain()
+        if self._broken or self._live_count() == 0:
+            raise PoolBrokenError("SSHPool is broken (all hosts down)")
         future: Future = Future()
         self._jobs.put((payload, future))
         return future
 
+    def report_health(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {
+                host: breaker.snapshot()
+                for host, breaker in self._breakers.items()
+            }
+
+    def drain_health_events(self) -> List[Tuple[str, Dict[str, object]]]:
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
     def close(self, fail_fast: bool = False) -> None:
-        workers, self._workers = self._workers, []
-        threads, self._threads = self._threads, []
+        workers: List[_SSHWorker] = []
+        with self._lock:
+            for breaker in self._breakers.values():
+                workers.extend(breaker.workers)
+                breaker.workers = []
+                breaker.state = "closed"
+                breaker.consecutive_failures = 0
+            threads, self._threads = self._threads, []
+            self._started = False
+        for worker in workers:
+            worker.retired = True
         for _ in threads:
             self._jobs.put(None)
         for worker in workers:
@@ -299,8 +613,7 @@ class SSHPool(Pool):
             thread.join(timeout=5)
         self._jobs = queue.SimpleQueue()
         self._broken = False
-        self._live_workers = 0
 
     @property
     def alive(self) -> bool:
-        return bool(self._workers) and not self._broken
+        return self._started and not self._broken

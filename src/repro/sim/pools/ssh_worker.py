@@ -10,7 +10,10 @@ stdin/stdout:
 * frame = 8-byte big-endian length + pickle blob;
 * parent → worker: ``("warm", benchmarks)`` (no reply — the warm-up
   stats ride the next chunk reply, mirroring the local pool),
-  ``("chunk", payload)`` (reply ``("result", (warmup, outcomes))`` or,
+  ``("ping", token)`` (reply ``("result", ("pong", token))`` — the
+  liveness heartbeat and circuit-breaker probe of
+  docs/INTERNALS.md §16), ``("chunk", payload)`` (reply
+  ``("result", (warmup, outcomes))`` or,
   when the payload requested telemetry capture, ``("result", (warmup,
   outcomes, chunk_info))`` — the worker passes :func:`repro.sim.pools
   .worker.run_chunk`'s reply through unchanged, so the telemetry
@@ -52,6 +55,10 @@ def serve(inbound: BinaryIO, outbound: BinaryIO) -> int:
             if kind == "warm":
                 worker_mod.pool_initializer(tuple(message[1]))
                 continue  # stats ride the next chunk reply
+            if kind == "ping":
+                token = message[1] if len(message) > 1 else None
+                write_frame(outbound, ("result", ("pong", token)))
+                continue
             if kind == "chunk":
                 write_frame(
                     outbound, ("result", worker_mod.run_chunk(message[1]))

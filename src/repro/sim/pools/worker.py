@@ -68,6 +68,66 @@ def run_with_alarm(
         signal.signal(signal.SIGALRM, previous)
 
 
+def worker_host_identity() -> Tuple[Optional[str], int]:
+    """This worker's ``(host, incarnation)``, from the pool's env vars.
+
+    Multi-host pools stamp each worker with ``$REPRO_WORKER_HOST`` and
+    ``$REPRO_HOST_INCARNATION`` (the per-host respawn counter) so the
+    ``host_down`` and ``straggler_delay`` fault sites can key on *which
+    host* is executing.  Backends without host identity (the local
+    process pool) leave them unset: ``(None, 0)``, and host faults are
+    inert there.
+    """
+    import os
+
+    host = os.environ.get("REPRO_WORKER_HOST") or None
+    try:
+        incarnation = int(os.environ.get("REPRO_HOST_INCARNATION", "0"))
+    except ValueError:
+        incarnation = 0
+    return host, incarnation
+
+
+def inject_host_faults(plan: Optional[FaultPlan]) -> None:
+    """Fire the per-chunk ``host_down`` site (hard process exit).
+
+    Decided once per chunk arrival, keyed on ``(host, incarnation)``:
+    every worker of a "down" host draws the same verdict, so the whole
+    host collapses exactly like a powered-off machine — the parent
+    observes EOF on every pipe.  A later incarnation (circuit-breaker
+    probe respawn) redraws, modelling an outage that heals.
+    """
+    if plan is None or plan.host_down <= 0.0:
+        return
+    host, incarnation = worker_host_identity()
+    if host is None:
+        return
+    if plan.decide("host_down", (host, incarnation)):
+        import os
+
+        os._exit(23)
+
+
+def inject_straggler_delay(
+    plan: Optional[FaultPlan], spec: RunSpec, attempt: int
+) -> None:
+    """Fire the per-cell ``straggler_delay`` site (wall-clock sleep).
+
+    Keyed on ``(host, benchmark, scheme, attempt)`` — a slow *host*,
+    not a slow cell — so the engine's speculative re-execution of the
+    same cell on a different host redraws the delay and can win the
+    race.  Never perturbs results; only scheduling.
+    """
+    if plan is None or plan.straggler_delay <= 0.0:
+        return
+    host, _ = worker_host_identity()
+    if host is None:
+        return
+    key = (host, spec.benchmark_name, spec.scheme, attempt)
+    if plan.decide("straggler_delay", key):
+        time.sleep(plan.straggler_delay_s)
+
+
 def inject_cell_faults(
     plan: Optional[FaultPlan], spec: RunSpec, attempt: int
 ) -> None:
@@ -200,6 +260,7 @@ def run_chunk(payload: ChunkPayload) -> tuple:
         cells, timeout, plan = payload
         capture_spec = None
     capture = ChunkCapture(capture_spec) if capture_spec else None
+    inject_host_faults(plan)
     unarmed = 0
     outcomes: List[Tuple[int, str, object]] = []
     for index, spec, attempt in cells:
@@ -226,6 +287,7 @@ def run_chunk(payload: ChunkPayload) -> tuple:
         status = "ok"
         try:
             inject_cell_faults(plan, spec, attempt)
+            inject_straggler_delay(plan, spec, attempt)
             spec.benchmark = worker_built(spec.benchmark)
             outcomes.append(
                 (

@@ -168,8 +168,14 @@ class TestConformance:
             max_pool_rebuilds=20,
         ) as engine:
             produced = engine.run(grid(config())).values()
-        assert engine.stats.worker_crashes > 0
-        assert engine.stats.pool_rebuilds > 0
+        stats = engine.stats
+        # Recovery takes one of two shapes: a whole-pool rebuild
+        # (local backend, or every ssh host dead at once), or — on the
+        # per-host ssh backend — surgical rerouting of the dead host's
+        # cells onto survivors (docs/INTERNALS.md §16), which never
+        # counts as a rebuild.
+        assert stats.worker_crashes > 0 or stats.hosts_down > 0
+        assert stats.pool_rebuilds > 0 or stats.cells_rerouted > 0
         # worker_crash kills workers between cells, never mid-result —
         # the recovered batch is still bit-identical.
         assert produced == serial_reference
@@ -229,9 +235,10 @@ class TestPoolLifecycle:
         pool = SSHPool([("loopback", 1)], transport=loopback_transport)
         pool.start()
         try:
-            for worker in pool._workers:
-                worker.proc.kill()
-                worker.proc.wait(timeout=10)
+            for breaker in pool._breakers.values():
+                for worker in breaker.workers:
+                    worker.proc.kill()
+                    worker.proc.wait(timeout=10)
             cells = ((0, RunSpec("db", "baseline", config()), 1),)
             future = pool.submit_chunk((cells, None, None))
             error = future.exception(timeout=30)

@@ -1,0 +1,352 @@
+"""Distributed-resilience suite (docs/INTERNALS.md §16).
+
+Three pillars, each driven by seeded fault injection so the failures
+are deterministic and replayable:
+
+* **per-host health** — a ``host_down`` injection kills every worker of
+  one ssh-loopback host; the engine reroutes the stranded cells to the
+  survivors (no whole-pool rebuild, no degrade-to-serial), the host's
+  circuit breaker opens, and the batch stays bit-identical to serial;
+* **straggler mitigation** — a ``straggler_delay`` injection makes one
+  host slow; with ``straggler_factor`` set the engine speculatively
+  twins the straggling chunk onto an idle worker, the fast copy wins,
+  and the batch beats the unmitigated wall-clock;
+* **crash-safe resume** — ``Engine.run(cells, resume=manifest)``
+  replays a prior run's flight-recorder manifest, re-executes only the
+  never-finished cells (done cells come back from the result store
+  under the same fingerprints), and survives stale store leases and
+  GC'd entries.
+
+The seeds below were searched for offline: seed 12 draws "loop0 dead at
+incarnation 1, loop1 alive" at ``host_down=0.5``; seed 83 draws "loop0
+always slow, loop1 always fast" for the db benchmark grid at
+``straggler_delay=0.5``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import (
+    CIRCUIT_OPEN,
+    HOST_DOWN,
+    FlightRecorder,
+    Telemetry,
+)
+from repro.sim.config import ExperimentConfig
+from repro.sim.driver import RunSpec
+from repro.sim.engine import Engine
+from repro.sim.store import ResultStore
+
+BUDGET = 25_000
+SCHEMES = ("baseline", "bbv", "hotspot")
+
+
+def config() -> ExperimentConfig:
+    return ExperimentConfig(max_instructions=BUDGET)
+
+
+def cells(benchmarks=("db",), schemes=SCHEMES) -> list:
+    cfg = config()
+    return [
+        RunSpec(name, scheme, cfg)
+        for name in benchmarks
+        for scheme in schemes
+    ]
+
+
+def serial_values(specs) -> list:
+    engine = Engine(pool="serial", use_cache=False, memory_cache={})
+    try:
+        return engine.run(specs).values()
+    finally:
+        engine.close()
+
+
+@pytest.mark.chaos
+class TestHostDown:
+    """One of two loopback hosts dies; the batch survives surgically."""
+
+    #: Seed 12 at p=0.5: loop0@incarnation-1 draws dead, loop1 alive.
+    PLAN = dict(seed=12, host_down=0.5)
+
+    def test_reroutes_to_survivors_bit_identical(self):
+        specs = cells()
+        telemetry = Telemetry()
+        engine = Engine(
+            pool="ssh-loopback:2",
+            use_cache=False,
+            memory_cache={},
+            fault_plan=FaultPlan(**self.PLAN),
+            max_retries=3,
+            chunk_size=1,
+            failure_policy="partial",
+            telemetry=telemetry,
+        )
+        try:
+            batch = engine.run(specs)
+        finally:
+            engine.close()
+        assert [o.status for o in batch] == ["ok"] * len(specs)
+        stats = engine.stats
+        # Surgical recovery: the dead host's cells rerouted to the
+        # survivor — never a whole-pool rebuild, never degrade-to-serial.
+        assert stats.cells_rerouted > 0
+        assert stats.pool_rebuilds == 0
+        assert stats.hosts_down >= 1
+        # The health transitions reached telemetry.
+        assert len(telemetry.log.by_name(HOST_DOWN)) >= 1
+        assert len(telemetry.log.by_name(CIRCUIT_OPEN)) >= 1
+        assert batch.values() == serial_values(specs)
+
+    def test_breaker_state_is_reported(self):
+        engine = Engine(
+            pool="ssh-loopback:2",
+            use_cache=False,
+            memory_cache={},
+            fault_plan=FaultPlan(**self.PLAN),
+            max_retries=3,
+            chunk_size=1,
+            failure_policy="partial",
+        )
+        try:
+            engine.run(cells())
+            health = engine.pool.report_health()
+        finally:
+            engine.close()
+        assert set(health) == {"loop0", "loop1"}
+        states = {host: snap["state"] for host, snap in health.items()}
+        assert "open" in states.values()  # the dead host's breaker
+        assert "closed" in states.values()  # the survivor
+        for snap in health.values():
+            assert {"state", "live_workers", "incarnation"} <= set(snap)
+
+    def test_host_faults_inert_on_local_backend(self):
+        # The local pool has no host identity: the same plan must be a
+        # no-op there, and the batch bit-identical to serial — the
+        # cross-backend determinism contract under a host-fault plan.
+        specs = cells()
+        engine = Engine(
+            pool="local:2",
+            use_cache=False,
+            memory_cache={},
+            fault_plan=FaultPlan(**self.PLAN),
+            failure_policy="partial",
+        )
+        try:
+            batch = engine.run(specs)
+        finally:
+            engine.close()
+        assert [o.status for o in batch] == ["ok"] * len(specs)
+        assert engine.stats.hosts_down == 0
+        assert batch.values() == serial_values(specs)
+
+
+@pytest.mark.chaos
+class TestStragglerMitigation:
+    """A slow host is out-raced by a speculative twin on a fast one."""
+
+    #: Seed 83 at p=0.5: loop0 draws slow for every (db, scheme,
+    #: attempt-1) key, loop1 draws fast.
+    PLAN = dict(seed=83, straggler_delay=0.5, straggler_delay_s=1.5)
+
+    def _run(self, specs, factor):
+        engine = Engine(
+            pool="ssh-loopback:2",
+            use_cache=False,
+            memory_cache={},
+            fault_plan=FaultPlan(**self.PLAN),
+            chunk_size=1,
+            straggler_factor=factor,
+        )
+        start = time.perf_counter()
+        try:
+            batch = engine.run(specs)
+            # Measured before close(): shutdown waits for the cancelled
+            # loser worker's sleep to drain, which is not batch latency.
+            elapsed = time.perf_counter() - start
+        finally:
+            engine.close()
+        return batch, elapsed, engine.stats
+
+    def test_speculation_beats_wall_clock_bit_identical(self):
+        specs = cells() * 2  # 6 cells: enough duration samples
+        slow_batch, slow_s, slow_stats = self._run(specs, None)
+        fast_batch, fast_s, fast_stats = self._run(specs, 3.0)
+        assert slow_stats.stragglers_detected == 0
+        assert fast_stats.stragglers_detected >= 1
+        assert fast_stats.speculations_won >= 1
+        # Speculation only re-schedules; results stay bit-identical.
+        assert fast_batch.values() == slow_batch.values()
+        assert fast_batch.values() == serial_values(specs)
+        # The mitigated run dodges at least one injected delay.
+        assert fast_s < slow_s
+
+
+class TestCrashSafeResume:
+    """Manifest replay: only never-finished cells re-execute."""
+
+    def _record_partial(self, tmp_path, done_specs, store):
+        recorder = FlightRecorder(tmp_path / "original.jsonl")
+        engine = Engine(
+            pool="serial",
+            store=store,
+            memory_cache={},
+            recorder=recorder,
+        )
+        try:
+            batch = engine.run(done_specs)
+        finally:
+            engine.close()
+        assert all(o.ok for o in batch)
+        return recorder.path
+
+    def test_resume_partitions_and_skips_done_cells(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = cells(benchmarks=("db", "jess"))  # 6 cells
+        manifest = self._record_partial(tmp_path, specs[:3], store)
+
+        recorder = FlightRecorder(tmp_path / "continuation.jsonl")
+        engine = Engine(
+            pool="serial",
+            store=store,
+            memory_cache={},
+            recorder=recorder,
+        )
+        try:
+            batch = engine.run(specs, resume=manifest)
+        finally:
+            engine.close()
+        assert all(o.ok for o in batch)
+        stats = engine.stats
+        assert stats.resumed_done == 3
+        assert stats.resumed_new == 3
+        # The store-hit gate: zero re-simulation of done cells.
+        assert stats.simulations == 3
+        assert stats.store_hits == 3
+        # The continuation manifest links back to the original.
+        begin = FlightRecorder.read(recorder.path)[0]
+        assert begin["resume_of"] == str(manifest)
+        assert begin["resume_counts"] == {
+            "done": 3, "failed": 3 - 3, "new": 3
+        }
+
+    def test_resume_consumed_once(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = cells()
+        manifest = self._record_partial(tmp_path, specs, store)
+        engine = Engine(pool="serial", store=store, memory_cache={})
+        try:
+            engine.run(specs, resume=manifest)
+            assert engine.stats.resumed_done == 3
+            engine.run(specs)  # no resume carry-over
+            assert engine.stats.resumed_done == 3
+        finally:
+            engine.close()
+
+    def test_resume_with_gcd_store_reexecutes(self, tmp_path):
+        # An entry GC'd between the runs must simply re-execute: resume
+        # never trusts the manifest over the store.
+        store = ResultStore(tmp_path / "store")
+        specs = cells()
+        manifest = self._record_partial(tmp_path, specs, store)
+        empty = ResultStore(tmp_path / "fresh-store")
+        engine = Engine(pool="serial", store=empty, memory_cache={})
+        try:
+            batch = engine.run(specs, resume=manifest)
+        finally:
+            engine.close()
+        assert all(o.ok for o in batch)
+        assert engine.stats.resumed_done == 3  # manifest still says done
+        assert engine.stats.simulations == 3  # ...but the store rules
+        assert engine.stats.store_hits == 0
+
+    def test_resume_recommit_takes_over_stale_lease(self, tmp_path):
+        # A writer SIGKILL'd mid-batch leaves its per-shard lease
+        # behind; the resume's re-commit must take the stale lease over
+        # instead of stalling or double-writing.
+        store = ResultStore(tmp_path / "store")
+        specs = cells(benchmarks=("db", "jess"))
+        manifest = self._record_partial(tmp_path, specs[:3], store)
+        long_ago = time.time() - 3600.0
+        for spec in specs[3:]:
+            shard = store.shard_for(spec.cache_key()[2])
+            shard.mkdir(parents=True, exist_ok=True)
+            lease = shard / ".lease"
+            lease.touch()
+            os.utime(lease, (long_ago, long_ago))
+        engine = Engine(pool="serial", store=store, memory_cache={})
+        try:
+            batch = engine.run(specs, resume=manifest)
+        finally:
+            engine.close()
+        assert all(o.ok for o in batch)
+        assert engine.stats.simulations == 3
+        assert store.lease_timeouts == 0  # takeover, not overrun
+        assert len(store) == len(specs)
+
+
+class TestCloseRobustness:
+    def test_close_idempotent_when_pool_broken(self):
+        # Regression: closing an engine whose ssh workers already died
+        # must not raise — close() falls back to fail-fast and, at
+        # worst, abandons the backend.
+        engine = Engine(pool="ssh-loopback:1", use_cache=False)
+        engine.pool.start()
+        for breaker in engine.pool._breakers.values():
+            for worker in breaker.workers:
+                worker.proc.kill()
+                worker.proc.wait(timeout=10)
+        engine.close()
+        engine.close()  # idempotent
+
+    def test_close_safe_on_half_constructed_engine(self):
+        engine = Engine.__new__(Engine)  # __init__ never ran
+        engine.close()  # must not raise
+
+
+class TestRecorderHardening:
+    def test_records_carry_schema_version(self, tmp_path):
+        from repro.obs.recorder import SCHEMA_VERSION
+
+        recorder = FlightRecorder(tmp_path / "run.jsonl")
+        engine = Engine(
+            pool="serial", use_cache=False, memory_cache={},
+            recorder=recorder,
+        )
+        try:
+            engine.run(cells(schemes=("baseline",)))
+        finally:
+            engine.close()
+        records = FlightRecorder.read(recorder.path)
+        assert records
+        assert all(r["schema"] == SCHEMA_VERSION for r in records)
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        recorder = FlightRecorder(tmp_path / "run.jsonl")
+        engine = Engine(
+            pool="serial", use_cache=False, memory_cache={},
+            recorder=recorder,
+        )
+        try:
+            engine.run(cells(schemes=("baseline",)))
+        finally:
+            engine.close()
+        # Simulate a SIGKILL mid-write: chop the file mid-record.
+        raw = recorder.path.read_bytes()
+        recorder.path.write_bytes(raw[: len(raw) - 25])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = FlightRecorder.read(recorder.path)
+        assert records  # everything before the torn line survives
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+        # And replay still partitions what it can see.
+        replay = FlightRecorder.replay(recorder.path)
+        assert replay.path == recorder.path

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Crash-safe resume acceptance check: SIGKILL a campaign, resume it.
+
+The end-to-end gate behind ``--resume`` (docs/INTERNALS.md §16), run by
+CI's ``resilience`` step::
+
+    PYTHONPATH=src python tools/resilience_check.py --workdir ci-resilience
+
+1. launch ``python -m repro table4 --record --store-dir ...`` as a
+   subprocess;
+2. poll its flight-recorder manifest until at least ``--min-done``
+   cells have committed, then SIGKILL the process — a real crash, no
+   cleanup handlers;
+3. re-run the same campaign with ``--resume`` pointing at the orphaned
+   manifest and ``--stats-json``;
+4. assert the resumed run (a) exits 0, (b) partitioned exactly the
+   done cells the manifest recorded, and (c) re-simulated **none** of
+   them — every done cell came back as a store hit under its original
+   fingerprint (the write-ahead ordering the engine guarantees when a
+   recorder is attached).
+
+Exit status 0 = gate passed.  Both manifests are left in the workdir
+for upload as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: A campaign long enough that the kill lands mid-batch on CI runners.
+BENCHMARKS = ["db", "jess", "javac", "mtrt"]
+SCHEMES = 3  # run_suite's baseline/bbv/hotspot grid
+
+
+def campaign_command(args, flight_dir: Path, store_dir: Path) -> list:
+    return [
+        sys.executable, "-m", "repro", "table4",
+        "--benchmarks", *BENCHMARKS,
+        "--instructions", str(args.instructions),
+        "--record", str(flight_dir),
+        "--store-dir", str(store_dir),
+    ]
+
+
+def manifest_in(flight_dir: Path) -> Path:
+    manifests = sorted(flight_dir.glob("*.jsonl"))
+    if not manifests:
+        raise SystemExit(f"no manifest appeared under {flight_dir}")
+    return max(manifests, key=lambda p: p.stat().st_mtime)
+
+
+def count_done_cells(manifest: Path) -> int:
+    done = set()
+    for line in manifest.read_bytes().splitlines():
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue  # torn tail of the killed writer
+        if record.get("kind") == "cell" and record.get("status") == "ok":
+            done.add(
+                (
+                    record.get("benchmark"),
+                    record.get("scheme"),
+                    record.get("fingerprint"),
+                )
+            )
+    return len(done)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default="ci-resilience", metavar="DIR",
+        help="scratch directory for store, manifests, stats (kept for "
+        "artifact upload)",
+    )
+    parser.add_argument(
+        "--min-done", type=int, default=2, metavar="N",
+        help="cells that must commit before the SIGKILL (default: 2)",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=400_000, metavar="N",
+        help="per-cell instruction budget (default: 400000 — slow "
+        "enough to kill mid-campaign, fast enough for CI)",
+    )
+    parser.add_argument(
+        "--kill-timeout", type=float, default=300.0, metavar="S",
+        help="give up if --min-done cells have not committed in S "
+        "seconds (default: 300)",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    flight_dir = workdir / "flight"
+    store_dir = workdir / "store"
+    flight_dir.mkdir(parents=True, exist_ok=True)
+
+    command = campaign_command(args, flight_dir, store_dir)
+    print(f"[resilience] launching: {' '.join(command)}", flush=True)
+    victim = subprocess.Popen(
+        command,
+        env={**__import__("os").environ, "PYTHONPATH": SRC_DIR},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+    deadline = time.monotonic() + args.kill_timeout
+    done_before = 0
+    manifest = None
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            raise SystemExit(
+                "campaign finished (or died) before the kill landed — "
+                "raise --instructions so the check can interrupt it"
+            )
+        manifests = list(flight_dir.glob("*.jsonl"))
+        if manifests:
+            manifest = max(manifests, key=lambda p: p.stat().st_mtime)
+            done_before = count_done_cells(manifest)
+            if done_before >= args.min_done:
+                break
+        time.sleep(0.2)
+    else:
+        victim.kill()
+        raise SystemExit(
+            f"only {done_before} cells committed within "
+            f"{args.kill_timeout:.0f}s; cannot exercise the kill"
+        )
+
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=60)
+    print(
+        f"[resilience] SIGKILL after {done_before} done cells; "
+        f"manifest: {manifest}",
+        flush=True,
+    )
+    # Recount after death: cells may have committed between the poll
+    # and the kill.  This is the resumed run's baseline.
+    done_before = count_done_cells(manifest)
+
+    stats_path = workdir / "resume-stats.json"
+    resume_command = command + [
+        "--resume", str(manifest),
+        "--stats-json", str(stats_path),
+    ]
+    print(f"[resilience] resuming: {' '.join(resume_command)}", flush=True)
+    resumed = subprocess.run(
+        resume_command,
+        env={**__import__("os").environ, "PYTHONPATH": SRC_DIR},
+    )
+    if resumed.returncode != 0:
+        raise SystemExit(
+            f"resumed campaign failed with exit {resumed.returncode}"
+        )
+
+    stats = json.loads(stats_path.read_text())
+    total = len(BENCHMARKS) * SCHEMES
+    failures = []
+    if stats["resumed_done"] != done_before:
+        failures.append(
+            f"manifest partition saw {stats['resumed_done']} done cells, "
+            f"expected {done_before}"
+        )
+    # The store-hit gate: zero re-simulated done cells.
+    if stats["store_hits"] < done_before:
+        failures.append(
+            f"only {stats['store_hits']} store hits for {done_before} "
+            "done cells — a done cell re-simulated"
+        )
+    if stats["simulations"] > total - done_before:
+        failures.append(
+            f"{stats['simulations']} simulations for "
+            f"{total - done_before} unfinished cells"
+        )
+    continuation = manifest_in(flight_dir)
+    if continuation == manifest:
+        failures.append("resumed run wrote no continuation manifest")
+    else:
+        begin = json.loads(
+            continuation.read_text().splitlines()[0]
+        )
+        if begin.get("resume_of") != str(manifest):
+            failures.append(
+                f"continuation manifest does not link to the original: "
+                f"resume_of={begin.get('resume_of')!r}"
+            )
+    if failures:
+        for failure in failures:
+            print(f"[resilience] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"[resilience] OK: {done_before} done cells served from the "
+        f"store, {stats['simulations']} re-executed, continuation "
+        f"manifest {continuation.name} links to {manifest.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
