@@ -123,11 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel",
-        choices=["fast", "reference"],
+        choices=["fast", "reference", "turbo"],
         default=None,
         help="simulation kernel: 'fast' (batched/inlined hot loop, the "
-        "default) or 'reference' (the readable interpreter); the two are "
-        "bit-identical (tests/test_kernel_equivalence.py)",
+        "default) or 'reference' (the readable interpreter) are "
+        "bit-identical (tests/test_kernel_equivalence.py); 'turbo' is the "
+        "opt-in vectorized tier — statistically equivalent under the "
+        "tolerance gate (tests/stat_equivalence.py), never the default, "
+        "and excluded from golden traces",
     )
     ExecutionOptions.add_arguments(parser)
     parser.add_argument(

@@ -29,10 +29,28 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.faults.plan import FaultPlan
 from repro.obs.events import Telemetry
 from repro.sim.config import ExperimentConfig
-from repro.sim.driver import RunResult, RunSpec, execute
+from repro.sim.driver import KERNEL_REGISTRY, RunResult, RunSpec, execute
 
-#: Both kernel names, reference first (the spec comes first).
-KERNELS = ("reference", "fast")
+# The exact-diff helpers moved to tests/tolerances.py (shared with the
+# statistical harness); re-exported here for existing callers.
+from tests.tolerances import describe_divergence, first_divergence  # noqa: F401
+
+#: The bit-identical kernel names, reference first (the spec comes
+#: first).  Derived from the authoritative registry so a new kernel is
+#: automatically either proven here or explicitly registered as
+#: tolerance-gated (``bit_identical=False`` — e.g. ``turbo``, which is
+#: gated by ``tests/stat_equivalence.py`` and never enters this
+#: harness).
+KERNELS = tuple(
+    sorted(
+        (
+            name
+            for name, spec in KERNEL_REGISTRY.items()
+            if spec.bit_identical
+        ),
+        key=lambda name: name != "reference",
+    )
+)
 
 
 def run_cell(
@@ -130,58 +148,6 @@ def pinned_configurations(telemetry: Telemetry) -> List[Tuple]:
     ]
 
 
-def first_divergence(
-    a: object, b: object, path: str = "$"
-) -> Optional[Tuple[str, object, object]]:
-    """First differing leaf between two JSON-like trees, or ``None``.
-
-    Comparison is exact — including floats: the kernels must perform the
-    same float operations in the same order, so even the last ulp has to
-    match.  Returns ``(path, value_in_a, value_in_b)``.
-    """
-    if type(a) is not type(b) and not (
-        isinstance(a, (int, float))
-        and isinstance(b, (int, float))
-        and not isinstance(a, bool)
-        and not isinstance(b, bool)
-    ):
-        return (path, a, b)
-    if isinstance(a, dict):
-        for key in sorted(set(a) | set(b), key=str):
-            here = f"{path}.{key}"
-            if key not in a:
-                return (here, "<absent>", b[key])
-            if key not in b:
-                return (here, a[key], "<absent>")
-            hit = first_divergence(a[key], b[key], here)
-            if hit is not None:
-                return hit
-        return None
-    if isinstance(a, (list, tuple)):
-        for index, (item_a, item_b) in enumerate(zip(a, b)):
-            hit = first_divergence(item_a, item_b, f"{path}[{index}]")
-            if hit is not None:
-                return hit
-        if len(a) != len(b):
-            return (f"{path}.length", len(a), len(b))
-        return None
-    if a != b:
-        return (path, a, b)
-    return None
-
-
-def describe_divergence(
-    cell: str, kind: str, hit: Tuple[str, object, object]
-) -> str:
-    """Render one divergence the way a human wants to read it first."""
-    path, ref_value, fast_value = hit
-    return (
-        f"{cell}: kernels diverge in {kind} at {path}\n"
-        f"  reference: {ref_value!r}\n"
-        f"  fast:      {fast_value!r}"
-    )
-
-
 def assert_equivalent(
     cell: str,
     ref: Union[RunResult, Dict[str, object]],
@@ -233,18 +199,21 @@ def assert_cell_equivalent(
     config_kwargs: Optional[Dict[str, object]] = None,
     fault_spec: Optional[str] = None,
 ) -> RunResult:
-    """Run one cell under both kernels and assert they cannot be told
-    apart; returns the (shared) result for further assertions."""
+    """Run one cell under every bit-identical kernel and assert they
+    cannot be told apart; returns the (shared) result for further
+    assertions."""
     ref, ref_telemetry = run_cell(
-        benchmark, scheme, "reference",
+        benchmark, scheme, KERNELS[0],
         max_instructions, config_kwargs, fault_spec,
     )
-    fast, fast_telemetry = run_cell(
-        benchmark, scheme, "fast",
-        max_instructions, config_kwargs, fault_spec,
-    )
-    cell = f"{benchmark}/{scheme}@{max_instructions}" + (
-        f"+faults[{fault_spec}]" if fault_spec else ""
-    )
-    assert_equivalent(cell, ref, fast, ref_telemetry, fast_telemetry)
+    fast = ref
+    for kernel in KERNELS[1:]:
+        fast, fast_telemetry = run_cell(
+            benchmark, scheme, kernel,
+            max_instructions, config_kwargs, fault_spec,
+        )
+        cell = f"{benchmark}/{scheme}@{max_instructions}[{kernel}]" + (
+            f"+faults[{fault_spec}]" if fault_spec else ""
+        )
+        assert_equivalent(cell, ref, fast, ref_telemetry, fast_telemetry)
     return fast

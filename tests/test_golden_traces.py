@@ -48,13 +48,27 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: budget; the seed is the config default.
 GOLDEN_BENCHMARK = "db"
 GOLDEN_BUDGET = 400_000
+GOLDEN_KERNEL = "fast"
 
 
-def golden_payload(scheme: str):
+def golden_payload(scheme: str, kernel: str = GOLDEN_KERNEL):
     """Compute the golden payload for one scheme (fast kernel — the
-    equivalence grid already proves the reference kernel matches)."""
+    equivalence grid already proves the reference kernel matches).
+
+    Only bit-identical kernels may produce golden fixtures: a
+    tolerance-gated kernel (turbo) has no byte-stable trace to pin, so
+    it is refused outright rather than producing a fixture that would
+    flap.
+    """
+    from repro.sim.driver import KERNEL_REGISTRY
+
+    if not KERNEL_REGISTRY[kernel].bit_identical:
+        raise ValueError(
+            f"golden traces accept only bit-identical kernels; {kernel!r} "
+            "is tolerance-gated (see tests/stat_equivalence.py)"
+        )
     result, telemetry = run_cell(
-        GOLDEN_BENCHMARK, scheme, "fast", max_instructions=GOLDEN_BUDGET
+        GOLDEN_BENCHMARK, scheme, kernel, max_instructions=GOLDEN_BUDGET
     )
     events = decision_timeline(telemetry)
     invokes = len(simulated_timeline(telemetry)) - len(events)
@@ -63,7 +77,7 @@ def golden_payload(scheme: str):
             "benchmark": GOLDEN_BENCHMARK,
             "scheme": scheme,
             "max_instructions": GOLDEN_BUDGET,
-            "sim_kernel": "fast",
+            "sim_kernel": kernel,
         },
         "result": result_tree(result),
         "decision_events": events,
@@ -98,6 +112,19 @@ def test_golden_trace(scheme, update_golden):
             + "\n(intentional change? regenerate with --update-golden "
             "and commit the diff)"
         )
+
+
+def test_golden_traces_refuse_tolerance_gated_kernels():
+    """Turbo (and any future non-bit-identical kernel) can neither
+    produce nor back a golden fixture."""
+    from repro.sim.driver import KERNEL_REGISTRY
+
+    with pytest.raises(ValueError, match="bit-identical"):
+        golden_payload("baseline", kernel="turbo")
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        payload = json.loads(path.read_text())
+        pinned = payload["cell"]["sim_kernel"]
+        assert KERNEL_REGISTRY[pinned].bit_identical, path.name
 
 
 def test_golden_fixtures_are_self_described():

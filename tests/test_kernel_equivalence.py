@@ -115,6 +115,23 @@ def test_kernel_equivalence_faults_heavy(case):
 # -- harness self-tests ------------------------------------------------------
 
 
+def test_kernel_list_is_registry_driven():
+    """The harness's kernel list is exactly the registry's bit-identical
+    subset, reference first; tolerance-gated kernels (turbo) are
+    excluded here and in the golden-trace suite by construction."""
+    from repro.sim.driver import KERNEL_REGISTRY
+    from tests.equivalence import KERNELS
+
+    bit_identical = {
+        name for name, spec in KERNEL_REGISTRY.items() if spec.bit_identical
+    }
+    assert set(KERNELS) == bit_identical
+    assert KERNELS[0] == "reference"
+    assert "turbo" in KERNEL_REGISTRY
+    assert not KERNEL_REGISTRY["turbo"].bit_identical
+    assert "turbo" not in KERNELS
+
+
 def test_first_divergence_names_the_leaf():
     a = {"metrics": {"ipc": 1.25, "cycles": [1.0, 2.0]}}
     b = {"metrics": {"ipc": 1.25, "cycles": [1.0, 3.0]}}

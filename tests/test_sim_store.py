@@ -219,6 +219,8 @@ def mutated_leaf(value):
             "flush": "selective",
             "fast": "reference",
             "reference": "fast",
+            "shared": "split",
+            "split": "shared",
         }
         return swaps.get(value, value + "x")
     if isinstance(value, tuple):

@@ -1,0 +1,158 @@
+"""Unit tests for the tolerance-testing toolkit (tests/tolerances.py).
+
+The toolkit is itself test infrastructure, so it gets the same
+treatment as any other subsystem: the semantics promised in its
+docstring — zero baselines, relative vs absolute budgets, NaN pairs —
+are pinned here, not just relied upon.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from tests.tolerances import (
+    DeviationReport,
+    assert_within_tolerance,
+    describe_divergence,
+    first_divergence,
+)
+
+NAN = float("nan")
+
+
+class TestAssertWithinTolerance:
+    def test_exact_match_passes_with_zero_tolerance(self):
+        assert_within_tolerance("cell", "ipc", 1.25, 1.25, rel_tol=0.0)
+
+    def test_relative_budget_scales_with_baseline(self):
+        # 1% of 200 is 2.0 — a deviation of 1.9 fits, 2.1 does not.
+        assert_within_tolerance("cell", "cycles", 200.0, 201.9, rel_tol=0.01)
+        with pytest.raises(AssertionError, match="cycles"):
+            assert_within_tolerance(
+                "cell", "cycles", 200.0, 202.1, rel_tol=0.01
+            )
+
+    def test_absolute_floor_adds_to_relative_budget(self):
+        # rel alone fails, rel + abs floor passes: the budget is the sum.
+        with pytest.raises(AssertionError):
+            assert_within_tolerance("cell", "m", 10.0, 10.5, rel_tol=0.01)
+        assert_within_tolerance(
+            "cell", "m", 10.0, 10.5, rel_tol=0.01, abs_tol=0.45
+        )
+
+    def test_zero_baseline_needs_absolute_floor(self):
+        # With baseline 0 the relative term contributes nothing: any
+        # nonzero candidate fails a purely-relative tolerance...
+        with pytest.raises(AssertionError):
+            assert_within_tolerance("cell", "wb", 0.0, 1e-9, rel_tol=0.5)
+        # ...and only the absolute floor admits it.
+        assert_within_tolerance(
+            "cell", "wb", 0.0, 1e-9, rel_tol=0.5, abs_tol=1e-6
+        )
+        assert_within_tolerance("cell", "wb", 0.0, 0.0, rel_tol=0.0)
+
+    def test_both_nan_is_equal(self):
+        # A metric undefined in both runs (e.g. miss rate with zero
+        # accesses) is agreement, not a deviation.
+        assert_within_tolerance("cell", "rate", NAN, NAN, rel_tol=0.0)
+
+    def test_single_nan_always_fails(self):
+        for baseline, candidate in ((NAN, 1.0), (1.0, NAN)):
+            with pytest.raises(AssertionError):
+                assert_within_tolerance(
+                    "cell", "rate", baseline, candidate,
+                    rel_tol=1e9, abs_tol=1e9,
+                )
+
+    def test_negative_baseline_uses_magnitude(self):
+        assert_within_tolerance("cell", "delta", -100.0, -101.0, rel_tol=0.02)
+        with pytest.raises(AssertionError):
+            assert_within_tolerance(
+                "cell", "delta", -100.0, -103.0, rel_tol=0.02
+            )
+
+    def test_failure_message_names_cell_metric_and_values(self):
+        with pytest.raises(AssertionError) as excinfo:
+            assert_within_tolerance("db/baseline", "l2_miss_rate", 0.25, 0.5,
+                                    rel_tol=0.01)
+        message = str(excinfo.value)
+        assert "db/baseline" in message
+        assert "l2_miss_rate" in message
+        assert "0.25" in message and "0.5" in message
+
+    def test_failures_are_recorded_in_the_shared_report(self):
+        report = DeviationReport()
+        with pytest.raises(AssertionError):
+            assert_within_tolerance(
+                "cell", "m", 1.0, 2.0, rel_tol=0.1, report=report
+            )
+        assert len(report.failures()) == 1
+
+
+class TestDeviationReport:
+    def test_budget_used_is_fraction_of_allowance(self):
+        report = DeviationReport()
+        deviation = report.record("c", "m", 100.0, 101.0, rel_tol=0.02)
+        assert deviation.ok
+        assert deviation.budget == pytest.approx(0.5)
+
+    def test_worst_ranks_by_budget_not_raw_deviation(self):
+        report = DeviationReport()
+        # 10% deviation against a 50% budget: 0.2 of budget.
+        report.record("c", "loose", 1.0, 1.1, rel_tol=0.5)
+        # 0.9% deviation against a 1% budget: 0.9 of budget — worse.
+        report.record("c", "tight", 1.0, 1.009, rel_tol=0.01)
+        assert [d.metric for d in report.worst(2)] == ["loose", "tight"][::-1]
+
+    def test_render_reports_verdict_and_failures_first(self):
+        report = DeviationReport()
+        report.record("a", "fine", 1.0, 1.0, rel_tol=0.0)
+        report.record("b", "broken", 1.0, 3.0, rel_tol=0.1)
+        text = report.render()
+        assert "2 tolerance checks, 1 exceeded" in text
+        assert text.index("broken") < text.index("fine")
+        assert "EXCEEDED" in text
+
+    def test_to_json_is_serialisable_even_with_nan(self):
+        import json
+
+        report = DeviationReport()
+        report.record("c", "rate", NAN, 1.0, rel_tol=0.1)
+        report.record("c", "zero", 0.0, 1.0, rel_tol=0.1)
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["checks"] == 2
+        assert payload["failures"] == 2
+
+    def test_zero_allowance_zero_deviation_is_ok(self):
+        report = DeviationReport()
+        deviation = report.record("c", "m", 0.0, 0.0, rel_tol=0.0)
+        assert deviation.ok and deviation.budget == 0.0
+
+
+class TestFirstDivergence:
+    # The exact-diff helpers moved here from tests/equivalence.py; the
+    # re-export is pinned alongside the behaviour.
+    def test_reexported_from_equivalence(self):
+        from tests import equivalence
+
+        assert equivalence.first_divergence is first_divergence
+        assert equivalence.describe_divergence is describe_divergence
+
+    def test_names_the_path_of_the_first_leaf(self):
+        a = {"x": [1, {"y": 2.0}], "z": "s"}
+        b = {"x": [1, {"y": 2.5}], "z": "s"}
+        assert first_divergence(a, b) == ("$.x[1].y", 2.0, 2.5)
+
+    def test_missing_keys_and_length_mismatches(self):
+        assert first_divergence({"k": 1}, {}) == ("$.k", 1, "<absent>")
+        assert first_divergence([1], [1, 2]) == ("$.length", 1, 2)
+
+    def test_int_float_cross_type_compares_by_value(self):
+        assert first_divergence({"n": 1}, {"n": 1.0}) is None
+        assert first_divergence(True, 1) == ("$", True, 1)
+
+    def test_equal_trees_return_none(self):
+        tree = {"a": [1, 2, {"b": math.pi}]}
+        assert first_divergence(tree, dict(tree)) is None

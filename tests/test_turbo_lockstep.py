@@ -1,0 +1,239 @@
+"""Hypothesis lockstep: turbo's batched cache pass vs the scalar Cache.
+
+``turbo_cache_batch`` (``repro.vm.turbovm``) replays a whole batch of
+loop iterations against the same dict-LRU sets the scalar ``Cache``
+uses.  Its contract, given the same access stream:
+
+* read/write miss *counts* are exact;
+* missed lines and dirty-victim writebacks are exact, in true stream
+  order, split by the serialised flag of the slot that missed;
+* final cache *contents* (resident lines and dirty bits) are exact;
+* sets that took at least one miss also preserve exact LRU recency
+  order (they are replayed scalar);
+* the single licensed relaxation: recency order *within* a set whose
+  batch lines were all resident at entry (hit-only sets) may differ —
+  those lines are refreshed wholesale instead of per-access.
+
+These tests drive both implementations from the same randomly generated
+warm state and batch shape and check every clause, including the
+wholesale-hit fast path (``bad is None``) that skips the scalar replay
+entirely.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+pytest.importorskip("numpy", reason="turbo kernel requires numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import Cache
+from repro.vm.turbovm import turbo_cache_batch
+
+LINE = 16  # line size (bytes); shift = 4
+
+
+def make_cache(n_sets: int, assoc: int) -> Cache:
+    size = n_sets * assoc * LINE
+    return Cache("lockstep", size, LINE, assoc, sizes=(size,))
+
+
+def scalar_oracle(cache, flat_lines, store_row, serial_row, batch):
+    """Replay the interleaved stream through the real scalar Cache.
+
+    One ``access_many`` call per reference, in true stream order — the
+    exact semantics turbo claims to preserve.  Returns the same shape as
+    ``turbo_cache_batch``.
+    """
+    width = len(store_row)
+    shift = cache._line_shift
+    r_m = w_m = 0
+    miss_normal, wb_normal, miss_serial, wb_serial = [], [], [], []
+    for i, line in enumerate(flat_lines):
+        addr = line << shift
+        is_store = store_row[i % width]
+        if is_store:
+            result = cache.access_many([], [addr])
+        else:
+            result = cache.access_many([addr], [])
+        r_m += result.read_misses
+        w_m += result.write_misses
+        target_miss, target_wb = (
+            (miss_serial, wb_serial)
+            if serial_row[i % width]
+            else (miss_normal, wb_normal)
+        )
+        target_miss.extend(result.miss_lines)
+        target_wb.extend(result.writeback_lines)
+    return r_m, w_m, miss_normal, wb_normal, miss_serial, wb_serial
+
+
+@st.composite
+def batch_cases(draw):
+    n_sets = draw(st.sampled_from([1, 2, 4, 8]))
+    assoc = draw(st.sampled_from([1, 2, 4]))
+    line_space = n_sets * assoc * 3  # enough lines to force conflicts
+    warm = draw(
+        st.lists(
+            st.integers(0, line_space - 1), min_size=0, max_size=40
+        )
+    )
+    width = draw(st.integers(1, 4))
+    batch = draw(st.integers(1, 8))
+    store_row = tuple(
+        draw(st.lists(st.booleans(), min_size=width, max_size=width))
+    )
+    serial_row = tuple(
+        draw(st.lists(st.booleans(), min_size=width, max_size=width))
+    )
+    flat_lines = draw(
+        st.lists(
+            st.integers(0, line_space - 1),
+            min_size=width * batch,
+            max_size=width * batch,
+        )
+    )
+    return n_sets, assoc, warm, store_row, serial_row, flat_lines, batch
+
+
+def run_lockstep(n_sets, assoc, warm, store_row, serial_row, flat_lines,
+                 batch):
+    cache = make_cache(n_sets, assoc)
+    for line in warm:  # warm with alternating load/store traffic
+        if line % 3 == 0:
+            cache.access_many([], [line << cache._line_shift])
+        else:
+            cache.access_many([line << cache._line_shift], [])
+
+    # Sets with a non-resident batch line at entry ("bad" sets) must be
+    # replayed exactly; record them before either side mutates state.
+    bad_sets = {
+        line & cache._set_mask
+        for line in set(flat_lines)
+        if line not in cache._sets[line & cache._set_mask]
+    }
+
+    oracle_cache = copy.deepcopy(cache)
+    width = len(store_row)
+    store_lines = {
+        line
+        for i, line in enumerate(flat_lines)
+        if store_row[i % width]
+    }
+    turbo = turbo_cache_batch(
+        cache, flat_lines, store_lines, list(store_row), list(serial_row),
+        batch,
+    )
+    oracle = scalar_oracle(
+        oracle_cache, flat_lines, store_row, serial_row, batch
+    )
+    return cache, oracle_cache, bad_sets, turbo, oracle
+
+
+@given(case=batch_cases())
+@settings(max_examples=200, deadline=None)
+def test_turbo_batch_matches_scalar_cache(case):
+    cache, oracle_cache, bad_sets, turbo, oracle = run_lockstep(*case)
+
+    # Miss counts and the stream-ordered miss / writeback address lists
+    # (split by serialised slot) are exact.
+    assert turbo[0] == oracle[0], "read miss count"
+    assert turbo[1] == oracle[1], "write miss count"
+    assert list(turbo[2]) == oracle[2], "normal-slot miss lines"
+    assert list(turbo[3]) == oracle[3], "normal-slot writeback lines"
+    assert list(turbo[4]) == oracle[4], "serial-slot miss lines"
+    assert list(turbo[5]) == oracle[5], "serial-slot writeback lines"
+
+    # Final contents: same resident lines with the same dirty bits in
+    # every set (order-insensitive)...
+    for index, (turbo_set, oracle_set) in enumerate(
+        zip(cache._sets, oracle_cache._sets)
+    ):
+        assert dict(turbo_set) == dict(oracle_set), f"set {index} contents"
+        # ...and sets that missed preserve exact LRU recency order too.
+        if index in bad_sets:
+            assert list(turbo_set.items()) == list(oracle_set.items()), (
+                f"set {index} recency order (scalar-replayed set)"
+            )
+
+
+@given(case=batch_cases())
+@settings(max_examples=100, deadline=None)
+def test_hit_only_sets_only_relax_recency(case):
+    """In hit-only sets the relaxation is *recency order only*: line
+    membership and dirty bits still match the oracle exactly (checked
+    above); here we additionally pin that no line was evicted from and
+    no writeback was issued by a hit-only set."""
+    cache, oracle_cache, bad_sets, turbo, oracle = run_lockstep(*case)
+    set_mask = cache._set_mask
+    shift = cache._line_shift
+    for addr in list(turbo[2]) + list(turbo[3]) + list(turbo[4]) + list(turbo[5]):
+        assert (addr >> shift) & set_mask in bad_sets
+
+
+def test_wholesale_hit_path_refreshes_and_marks_dirty():
+    """The fast path (every batch line resident) reports zero misses and
+    OR-s the batch's store lines into the dirty bits."""
+    cache = make_cache(2, 2)
+    for line in (0, 2):  # fill set 0 with clean lines 0 and 2
+        cache.access_many([line << cache._line_shift], [])
+    turbo = turbo_cache_batch(
+        cache, [0, 2, 0, 2], {2}, [False, True], [False, False], 2
+    )
+    assert turbo[:2] == (0, 0)
+    assert all(not lines for lines in turbo[2:])
+    assert dict(cache._sets[0]) == {0: False, 2: True}
+
+
+def test_draw_table_row_masks_decode_to_slice_distinct_lines(monkeypatch):
+    """`_build_table`'s per-row bitmasks are the index behind the
+    steady-state wholesale path in `_execute_batch`: OR-ing a slice's
+    rows must recover *exactly* the distinct lines (and distinct store
+    lines) of that slice of the draw table, for every table a real run
+    builds."""
+    import numpy as np
+
+    import repro.vm.turbovm as turbovm
+    from repro.sim.config import ExperimentConfig
+    from repro.sim.driver import RunSpec, execute
+
+    def decode(masks, vals, off, end):
+        m = int(np.bitwise_or.reduce(masks[off:end]))
+        out = set()
+        while m:
+            bit = m & -m
+            out.add(vals[bit.bit_length() - 1])
+            m ^= bit
+        return out
+
+    orig = turbovm.TurboVirtualMachine._build_table
+    checked = []
+
+    def probe(self, plan, *args):
+        result = orig(self, plan, *args)
+        if plan.row_masks is not None:
+            for off, width in ((0, 48), (117, 31), (1900, 100)):
+                end = off + width
+                assert decode(plan.row_masks, plan.mask_vals, off, end) == set(
+                    plan.tbl[off:end].reshape(-1).tolist()
+                )
+                if plan.store_row_masks is not None:
+                    assert decode(
+                        plan.store_row_masks, plan.mask_vals, off, end
+                    ) == set(plan.store_tbl[off:end].reshape(-1).tolist())
+            checked.append(plan)
+        return result
+
+    monkeypatch.setattr(turbovm.TurboVirtualMachine, "_build_table", probe)
+    execute(
+        RunSpec(
+            "db",
+            "baseline",
+            ExperimentConfig(max_instructions=400_000, sim_kernel="turbo"),
+        )
+    )
+    assert checked, "no draw table qualified for the mask fast path"
