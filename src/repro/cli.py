@@ -360,6 +360,8 @@ def run_command(args) -> int:
         chunk_size=options.chunk_size,
         max_pool_rebuilds=options.max_pool_rebuilds,
         straggler_factor=options.straggler_factor,
+        schedule=options.schedule,
+        cost_model_dir=options.cost_model_dir,
         progress=make_progress_printer(args),
         recorder=make_recorder(args, resume_from),
         resume=resume_from,

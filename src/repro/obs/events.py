@@ -77,6 +77,10 @@ CIRCUIT_OPEN = "circuit_open"
 STRAGGLER_DETECTED = "straggler_detected"
 SPECULATION_WON = "speculation_won"
 BATCH_RESUMED = "batch_resumed"
+# Wall-clock scheduling event (docs/INTERNALS.md §18): one per pool
+# round, carrying the planner's mode, chunk layout, and predicted vs
+# measured makespan so cost-model quality is observable.
+SCHEDULE_PLANNED = "schedule_planned"
 
 #: The complete vocabulary, in rough lifecycle order (used by summaries).
 EVENT_TYPES: Tuple[str, ...] = (
@@ -113,6 +117,7 @@ EVENT_TYPES: Tuple[str, ...] = (
     STRAGGLER_DETECTED,
     SPECULATION_WON,
     BATCH_RESUMED,
+    SCHEDULE_PLANNED,
 )
 
 #: Events stamped with wall time; everything else uses simulated time.
@@ -139,6 +144,7 @@ WALL_CLOCK_EVENTS = frozenset(
         STRAGGLER_DETECTED,
         SPECULATION_WON,
         BATCH_RESUMED,
+        SCHEDULE_PLANNED,
     )
 )
 

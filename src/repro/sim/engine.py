@@ -59,7 +59,6 @@ parent process — they are not guaranteed picklable and are never cached.
 
 from __future__ import annotations
 
-import math
 import statistics
 import time
 import traceback as traceback_mod
@@ -93,6 +92,7 @@ from repro.obs.events import (
     POOL_SPAWNED,
     PROGRESS,
     RETRY,
+    SCHEDULE_PLANNED,
     SPECULATION_WON,
     STORE_HIT,
     STRAGGLER_DETECTED,
@@ -102,7 +102,13 @@ from repro.obs.events import (
     WORKER_WARMUP,
 )
 from repro.obs.recorder import FlightRecorder, ManifestReplay
-from repro.obs.remote import DEFAULT_CELL_EVENT_CAP, merge_chunk_info
+from repro.obs.remote import (
+    DEFAULT_CELL_EVENT_CAP,
+    merge_chunk_info,
+    worker_origin,
+)
+from repro.sim import schedule as schedule_mod
+from repro.sim.costmodel import CostModel
 from repro.sim.driver import RunResult, RunSpec
 from repro.sim.options import ExecutionOptions
 from repro.sim.pools import Pool, make_pool
@@ -283,6 +289,16 @@ class EngineStats:
     resumed_done: int = 0
     resumed_failed: int = 0
     resumed_new: int = 0
+    #: Cost-model scheduling (docs/INTERNALS.md §18).  Pool rounds the
+    #: planner laid out, and how many of their cells had estimates:
+    rounds_planned: int = 0
+    cells_cost_estimated: int = 0
+    #: Rounds packed cost-balanced (vs falling back to legacy chunking).
+    rounds_lpt: int = 0
+    #: Last planned round's LPT makespan forecast vs what it measured
+    #: (seconds; 0.0 until a round with estimates completes).
+    predicted_makespan_s: float = 0.0
+    actual_makespan_s: float = 0.0
 
     def reset(self) -> None:
         for name in vars(self):
@@ -434,6 +450,26 @@ class Engine:
         pickling, without collapsing the crash-retry granularity of
         small batches.  Retries are always resubmitted as single-cell
         chunks.
+    schedule:
+        Chunk-planning mode (docs/INTERNALS.md §18).  ``"lpt"``
+        (default) packs pool rounds cost-balanced from the cost model's
+        runtime estimates — longest-estimated work first, chunk sizes
+        weighted by observed per-host speed — and degrades to exactly
+        the ``"fifo"`` behaviour (submission order, count-based
+        chunks) while no history exists.  ``"fifo"`` forces the legacy
+        plan unconditionally.  Scheduling is semantics-free: results
+        and their ordering are bit-identical either way (conformance
+        tested); only wall-clock changes.
+    cost_model:
+        The :class:`~repro.sim.costmodel.CostModel` feeding the
+        scheduler, shared across engines if desired.  ``None`` builds a
+        private one, loaded from ``cost_model_dir`` when set and
+        warm-booted from the result store's entry metadata on the
+        first planned round.
+    cost_model_dir:
+        Directory the cost model snapshots itself into
+        (``cost_model.json``, written after each batch that learned
+        something); ``None`` keeps the model in memory only.
     warm_start:
         When True (default), backends with the ``warm_start``
         capability pre-build the first batch's benchmarks and
@@ -466,6 +502,9 @@ class Engine:
         recorder: Optional[FlightRecorder] = None,
         straggler_factor: Optional[float] = None,
         resume: Union[str, Path, None] = None,
+        schedule: Optional[str] = None,
+        cost_model: Optional[CostModel] = None,
+        cost_model_dir: Union[str, Path, None] = None,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -484,6 +523,10 @@ class Engine:
                 max_pool_rebuilds = options.max_pool_rebuilds
             if straggler_factor is None:
                 straggler_factor = options.straggler_factor
+            if schedule is None:
+                schedule = options.schedule
+            if cost_model_dir is None:
+                cost_model_dir = options.cost_model_dir
             if store is None:
                 store = options.make_store()
         if pool is None:
@@ -522,9 +565,27 @@ class Engine:
             else float(straggler_factor)
         )
         self._resume: Union[str, Path, None] = resume
+        self.schedule = schedule if schedule is not None else "lpt"
+        if self.schedule not in schedule_mod.SCHEDULE_MODES:
+            raise ValueError(
+                f"schedule must be one of {schedule_mod.SCHEDULE_MODES}, "
+                f"got {self.schedule!r}"
+            )
+        self._cost_model_dir = (
+            None if cost_model_dir is None else Path(cost_model_dir)
+        )
+        if cost_model is not None:
+            self.cost_model = cost_model
+        elif self._cost_model_dir is not None:
+            self.cost_model = CostModel.load_dir(self._cost_model_dir)
+        else:
+            self.cost_model = CostModel()
+        #: Store-metadata warm boot happens once, lazily, before the
+        #: first planned round (scanning the store is not free).
+        self._cost_bootstrapped = False
         self.stats = EngineStats()
         self._unarmed_warned = False
-        self._store_pending: List[Tuple[Tuple[str, str, str], RunResult]] = []
+        self._store_pending: List[Tuple] = []
         #: Per-track high-water marks for clock-rebased worker events;
         #: engine-lifetime so merged tracks stay monotone across batches.
         self._remote_hwm: Dict[str, float] = {}
@@ -578,6 +639,8 @@ class Engine:
             recorder.end_batch(
                 batch, self.stats, self.telemetry.log.dropped
             )
+        if self._cost_model_dir is not None and self.cost_model.dirty:
+            self.cost_model.save_dir(self._cost_model_dir)
         return batch
 
     def _apply_resume(
@@ -812,7 +875,13 @@ class Engine:
                 return result, SOURCE_STORE
         return None
 
-    def _record(self, spec: RunSpec, result: RunResult) -> None:
+    def _record(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        elapsed_s: Optional[float] = None,
+        executed_by: Optional[str] = None,
+    ) -> None:
         if not self._cell_cacheable(spec):
             return
         key = spec.cache_key()
@@ -820,7 +889,15 @@ class Engine:
         if self.store is not None:
             # The memory-cache write above serves intra-batch duplicates;
             # the disk write is deferred and flushed once per batch.
-            self._store_pending.append((key, result))
+            # Measured runtime and executor identity ride along as the
+            # entry's meta block, warm-booting future processes' cost
+            # models (docs/INTERNALS.md §18).
+            meta = (
+                self.cost_model.store_meta(spec, elapsed_s, executed_by)
+                if elapsed_s is not None
+                else None
+            )
+            self._store_pending.append((key, result, meta))
 
     def _flush_store(self) -> None:
         """Batch-write this batch's simulated results to the store.
@@ -833,11 +910,12 @@ class Engine:
         if self.store is None or not pending:
             return
         paths = self.store.put_many(
-            (key[0], key[1], key[2], result) for key, result in pending
+            (key[0], key[1], key[2], result, meta)
+            for key, result, meta in pending
         )
         plan = self.fault_plan
         if plan is not None:
-            for (key, _), path in zip(pending, paths):
+            for (key, _, _), path in zip(pending, paths):
                 if plan.decide("store_corrupt", key):
                     corrupt_file(path)
 
@@ -894,6 +972,8 @@ class Engine:
     def _record_success(
         self, spec: RunSpec, index: int, result: RunResult, attempts: int,
         results: List[Optional[RunResult]],
+        elapsed_s: Optional[float] = None,
+        executed_by: Optional[str] = None,
     ) -> None:
         results[index] = result
         outcome = CellOutcome(
@@ -906,7 +986,9 @@ class Engine:
         self._outcomes[index] = outcome
         self.stats.simulations += 1
         self.telemetry.metrics.counter("engine.simulations").inc()
-        self._record(spec, result)
+        if elapsed_s is not None:
+            self.cost_model.observe(spec, elapsed_s)
+        self._record(spec, result, elapsed_s, executed_by)
         if self.recorder is not None:
             # Write-ahead ordering for crash-safe resume (docs §16): the
             # store write must be durable before the manifest says
@@ -1073,6 +1155,7 @@ class Engine:
                 scheme=spec.scheme,
                 attempt=attempts,
             )
+            cell_t0 = time.perf_counter()
             try:
                 if self.runner is not None:
                     result = self.runner(spec)
@@ -1085,6 +1168,7 @@ class Engine:
                         fault_plan=self.fault_plan,
                         on_unarmed=self._note_unarmed_timeout,
                     )
+                elapsed_s = time.perf_counter() - cell_t0
                 break
             except Exception as error:  # noqa: BLE001 — retry boundary
                 if isinstance(error, CellTimeout):
@@ -1121,7 +1205,10 @@ class Engine:
             benchmark=spec.benchmark_name,
             scheme=spec.scheme,
         )
-        self._record_success(spec, index, result, attempts, results)
+        self._record_success(
+            spec, index, result, attempts, results,
+            elapsed_s=elapsed_s, executed_by=worker_origin(),
+        )
 
     # -- pool execution -----------------------------------------------------
 
@@ -1262,15 +1349,52 @@ class Engine:
         return pool
 
     def _chunks(self, indices: List[int]) -> List[List[int]]:
-        """Deterministic chunk partition of one round's submissions."""
-        size = self.chunk_size
-        if size is None:
-            workers = max(1, self.pool.workers)
-            size = min(8, max(1, math.ceil(len(indices) / (workers * 4))))
-        return [
-            indices[start:start + size]
-            for start in range(0, len(indices), size)
-        ]
+        """Legacy deterministic chunk partition (count-based, in
+        submission order) — the planner's cold-start/fifo shape."""
+        return schedule_mod.legacy_chunks(
+            indices, self.pool.workers, self.chunk_size
+        )
+
+    def _plan_round(
+        self, specs: Sequence[RunSpec], indices: List[int]
+    ) -> Tuple["schedule_mod.RoundPlan", Dict[int, Optional[float]]]:
+        """Lay out one pool round from the cost model's estimates.
+
+        Returns the plan plus the per-cell estimate map (the straggler
+        budget reuses it).  Under ``schedule="fifo"`` — or with no
+        usable history — this reproduces the legacy partition exactly;
+        see :func:`repro.sim.schedule.plan_round`.
+        """
+        estimates: Dict[int, Optional[float]] = {}
+        slot_weights = None
+        if self.schedule == "lpt":
+            if not self._cost_bootstrapped:
+                self._cost_bootstrapped = True
+                if self.store is not None:
+                    self.cost_model.bootstrap_from_store(self.store)
+            estimates = {
+                i: self.cost_model.estimate(specs[i]) for i in indices
+            }
+            try:
+                slot_weights = self.cost_model.host_weights(
+                    self.pool.host_slots()
+                )
+            except Exception:
+                slot_weights = None
+        plan = schedule_mod.plan_round(
+            indices,
+            estimates,
+            workers=self.pool.workers,
+            chunk_size=self.chunk_size,
+            schedule=self.schedule,
+            slot_weights=slot_weights,
+        )
+        self.stats.rounds_planned += 1
+        self.stats.cells_cost_estimated += plan.estimated_cells
+        if plan.mode == "lpt":
+            self.stats.rounds_lpt += 1
+            self.stats.predicted_makespan_s = plan.predicted_makespan_s
+        return plan, estimates
 
     def _merge_worker_snapshot(
         self,
@@ -1324,6 +1448,8 @@ class Engine:
         telemetry = self.telemetry
         pool = self._ensure_pool(specs, indices)
         broken_types = pool.broken_exceptions
+        plan, estimates = self._plan_round(specs, indices)
+        round_t0 = time.perf_counter()
         futures: Dict = {}
         #: Straggler-mitigation state (docs/INTERNALS.md §16): wall-clock
         #: start per chunk future, primary↔twin links (both directions),
@@ -1447,7 +1573,14 @@ class Engine:
                     if straggler in twins:
                         continue  # already twinned (or is itself a twin)
                     elapsed = now - chunk_started[straggler]
-                    estimate = factor * baseline * len(chunk)
+                    # Estimate-relative budget (docs/INTERNALS.md §18):
+                    # a chunk of cells *predicted* to run 10× longer
+                    # gets a ~10× budget instead of being flagged at
+                    # the flat median — and estimates can only extend
+                    # the legacy budget, never shrink it.
+                    estimate = schedule_mod.straggler_budget(
+                        factor, baseline, chunk, estimates
+                    )
                     if elapsed > estimate:
                         _speculate(straggler, chunk, elapsed, estimate)
 
@@ -1471,7 +1604,7 @@ class Engine:
                             "across hosts (determinism contract violated)"
                         )
 
-            for chunk in self._chunks(indices):
+            for chunk in plan.chunks:
                 try:
                     _submit(chunk)
                 except broken_types as error:
@@ -1561,8 +1694,13 @@ class Engine:
                         outcomes = [
                             (index, "error", chunk_error) for index in chunk
                         ]
+                        cell_times = {}
+                        executed_by = None
                     else:
                         reply = future.result()
+                        cell_times = {}
+                        executed_by = None
+                        per_cell = None
                         if started is not None and chunk:
                             per_cell = (
                                 time.perf_counter() - started
@@ -1570,11 +1708,36 @@ class Engine:
                             durations.extend([per_cell] * len(chunk))
                         if len(reply) > 2:
                             warmup, outcomes, chunk_info = reply
+                            if chunk_info:
+                                # Cost-model feed: worker-measured
+                                # per-cell seconds and the executor's
+                                # identity (host#incarnation over ssh,
+                                # host#pid otherwise).
+                                cell_times = {
+                                    int(i): float(s)
+                                    for i, s in (
+                                        chunk_info.get("cell_times") or ()
+                                    )
+                                }
+                                executed_by = (
+                                    chunk_info.get("host_id")
+                                    or chunk_info.get("origin")
+                                )
+                                self.cost_model.observe_host(
+                                    executed_by,
+                                    len(chunk),
+                                    chunk_info.get("service_s"),
+                                )
                             self._merge_worker_snapshot(
                                 chunk_info, chunk, submitted_at
                             )
                         else:
                             warmup, outcomes = reply
+                        if per_cell is not None:
+                            # Parent-side chunk average as the timing
+                            # fallback for replies without per-cell data.
+                            for member in chunk:
+                                cell_times.setdefault(member, per_cell)
                     if warmup is not None:
                         telemetry.emit_wall(WORKER_WARMUP, **warmup)
                         telemetry.metrics.counter(
@@ -1594,7 +1757,13 @@ class Engine:
                                 scheme=spec.scheme,
                             )
                             self._record_success(
-                                spec, index, value, attempts[index], results
+                                spec,
+                                index,
+                                value,
+                                attempts[index],
+                                results,
+                                elapsed_s=cell_times.get(index),
+                                executed_by=executed_by,
                             )
                             continue
                         error = value
@@ -1637,6 +1806,20 @@ class Engine:
                     _sync_in_flight()
                 _check_stragglers()
             self._drain_health()
+            actual_s = time.perf_counter() - round_t0
+            self.stats.actual_makespan_s += actual_s
+            telemetry.emit_wall(
+                SCHEDULE_PLANNED,
+                backend=pool.name,
+                mode=plan.mode,
+                chunks=len(plan.chunks),
+                cells=len(indices),
+                estimated_cells=plan.estimated_cells,
+                weighted=plan.slot_weights is not None,
+                predicted_makespan_s=round(plan.predicted_makespan_s, 4),
+                actual_makespan_s=round(actual_s, 4),
+            )
+            telemetry.metrics.counter("engine.rounds_planned").inc()
         except BaseException:
             # Fatal exits (CellExecutionError, _PoolBroken) must not sit
             # waiting for in-flight cells of a poisoned batch, and the

@@ -85,6 +85,10 @@ def make_engine(
         straggler_factor=(
             None if options is None else options.straggler_factor
         ),
+        schedule=None if options is None else options.schedule,
+        cost_model_dir=(
+            None if options is None else options.cost_model_dir
+        ),
         telemetry=telemetry,
         recorder=recorder,
         resume=resume,

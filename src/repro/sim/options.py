@@ -48,6 +48,16 @@ class ExecutionOptions:
     #: longer than this multiple of the robust runtime estimate
     #: (``None`` = disabled; docs/INTERNALS.md §16).
     straggler_factor: Optional[float] = None
+    #: Chunk-planning mode (docs/INTERNALS.md §18): ``"lpt"`` (default)
+    #: packs chunks by estimated cost, longest first, once the cost
+    #: model has history — with none it degrades to exactly the
+    #: ``"fifo"`` behaviour (submission order, count-based chunks).
+    #: Never affects results, only wall-clock.
+    schedule: str = "lpt"
+    #: Directory for the cost model's persistent snapshot
+    #: (``cost_model.json``); ``None`` keeps estimates in memory (the
+    #: result store's entry metadata still warm-boots them).
+    cost_model_dir: Optional[str] = None
 
     def resolved_backend(self) -> str:
         if self.backend is not None:
@@ -124,6 +134,23 @@ class ExecutionOptions:
             "times the robust per-chunk runtime estimate; first result "
             "wins, results stay bit-identical (default: disabled)",
         )
+        parser.add_argument(
+            "--schedule",
+            choices=("lpt", "fifo"),
+            default="lpt",
+            help="chunk planning: 'lpt' packs chunks by estimated cost "
+            "(longest first, host-speed weighted) once runtime history "
+            "exists; 'fifo' keeps submission-order count-based chunks. "
+            "Results are bit-identical either way (default: lpt)",
+        )
+        parser.add_argument(
+            "--cost-model-dir",
+            default=None,
+            metavar="PATH",
+            help="persist the scheduler's runtime cost model to "
+            "PATH/cost_model.json across processes (default: in-memory, "
+            "warm-booted from result-store metadata)",
+        )
 
     @classmethod
     def from_args(cls, args) -> "ExecutionOptions":
@@ -135,4 +162,6 @@ class ExecutionOptions:
             chunk_size=getattr(args, "chunk_size", None),
             max_pool_rebuilds=getattr(args, "max_pool_rebuilds", 3),
             straggler_factor=getattr(args, "straggler_factor", None),
+            schedule=getattr(args, "schedule", "lpt") or "lpt",
+            cost_model_dir=getattr(args, "cost_model_dir", None),
         )

@@ -14,14 +14,17 @@ The chunk protocol is the one the engine has always used internally
 fault_plan, capture)`` when the parent's telemetry session is live
 (docs/INTERNALS.md §15) — with ``cells`` a tuple of
 ``(index, spec, attempt)`` triples, answered by
-``(warmup, outcomes)`` or ``(warmup, outcomes, chunk_info)`` where each
-outcome is ``(index, "ok", result)`` or ``(index, "error", exception)``
-and ``chunk_info`` is the worker's clock-stamped telemetry snapshot.
-Backends pass both shapes through opaquely; an untraced run always
-sends the 3-tuple and receives the 2-tuple, so the default path's wire
-traffic is unchanged.  Per-cell failures are *returned*, never raised —
-a raised exception from a chunk means the transport or the worker
-itself died.
+``(warmup, outcomes, chunk_info)`` where each outcome is
+``(index, "ok", result)`` or ``(index, "error", exception)`` and
+``chunk_info`` is the worker's snapshot: at minimum its executor
+identity, per-cell measured seconds (``cell_times``), and unarmed
+timeout count — the scheduler's cost model feeds on these — plus the
+full clock-stamped telemetry capture when the parent session is live
+(docs/INTERNALS.md §15).  Backends pass the payload and reply through
+opaquely; legacy 2-tuple replies (older workers) are still accepted by
+the engine, which simply learns nothing from them.  Per-cell failures
+are *returned*, never raised — a raised exception from a chunk means
+the transport or the worker itself died.
 
 Capability flags tell the engine which degradation semantics apply:
 
@@ -172,6 +175,19 @@ class Pool:
         and return ``{}`` — the engine treats that as "always healthy".
         """
         return {}
+
+    def host_slots(self) -> Dict[str, int]:
+        """Live execution slots keyed by executor identity.
+
+        The scheduler (docs/INTERNALS.md §18) matches these identities
+        against the cost model's per-host speed EWMAs to weight chunk
+        sizes.  Multi-host backends key by ``host#incarnation`` (the
+        same identity their workers stamp into chunk replies) and
+        report only hosts whose circuit is currently serving; the
+        default is one anonymous entry covering the whole pool, which
+        the cost model treats as homogeneous.
+        """
+        return {self.name: max(1, self.workers)}
 
     def drain_health_events(self) -> List[Tuple[str, Dict[str, object]]]:
         """Health transitions since the last drain, oldest first.

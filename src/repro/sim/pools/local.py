@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.pools import worker as worker_mod
 from repro.sim.pools.base import (
@@ -137,6 +137,13 @@ class LocalProcessPool(Pool):
         if self._executor is None:
             raise PoolBrokenError("LocalProcessPool is not started")
         return self._executor.submit(worker_mod.run_chunk, payload)
+
+    def host_slots(self) -> Dict[str, int]:
+        """One homogeneous fleet: sibling processes on one machine run
+        at the same speed, so all slots share a single identity and the
+        scheduler packs them unweighted (chunk replies key their
+        ``origin`` by pid, which deliberately never matches this)."""
+        return {"local": self.workers}
 
     def close(self, fail_fast: bool = False) -> None:
         executor, self._executor = self._executor, None

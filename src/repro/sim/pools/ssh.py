@@ -397,6 +397,25 @@ class SSHPool(Pool):
     def _live_count(self) -> int:
         return sum(len(b.workers) for b in self._breakers.values())
 
+    def host_slots(self) -> Dict[str, int]:
+        """Serving slots per ``host#incarnation`` — the identity the
+        host's workers stamp into chunk replies, so the scheduler can
+        match speed history to live capacity.  Hosts whose breaker is
+        open contribute nothing; a never-started pool reports its
+        configured fleet (incarnation 1, what :meth:`start` will spawn).
+        """
+        with self._lock:
+            if not self._started:
+                return {
+                    f"{host}#{breaker.incarnation + 1}": breaker.slots
+                    for host, breaker in self._breakers.items()
+                }
+            return {
+                f"{host}#{breaker.incarnation}": len(breaker.workers)
+                for host, breaker in self._breakers.items()
+                if breaker.state != "open" and breaker.workers
+            }
+
     def _worker_ok(self, worker: _SSHWorker) -> None:
         with self._lock:
             breaker = self._breakers[worker.host]

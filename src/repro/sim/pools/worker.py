@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.faults import FaultPlan, InjectedFault
 from repro.obs.events import TIMEOUT_DISABLED
-from repro.obs.remote import SNAPSHOT_VERSION, ChunkCapture
+from repro.obs.remote import SNAPSHOT_VERSION, ChunkCapture, worker_origin
 from repro.sim.driver import RunResult, RunSpec, execute
 from repro.sim.pools.base import CellTimeout, ChunkPayload
 
@@ -240,14 +240,20 @@ def run_chunk(payload: ChunkPayload) -> tuple:
     ``capture`` a plain-dict spec (``{"max_events": N}``) — where
     ``cells`` is a tuple of ``(index, spec, attempt)``; the timeout and
     the fault plan are pickled once per chunk instead of once per cell.
-    Returns ``(warmup, outcomes)``, or ``(warmup, outcomes, chunk_info)``
-    when there is telemetry to ship (a requested capture, or unarmed
-    timeouts that must not stay silent); each outcome is
-    ``(index, "ok", result)`` or ``(index, "error", error)``.  Per-cell
-    failures are *returned*, not raised, so one bad cell cannot discard
-    its chunk-mates' finished work.  A worker-crash injection still
-    hard-exits the process, so the parent observes a broken pool exactly
-    like a segfaulting or OOM-killed worker.
+    Returns ``(warmup, outcomes, chunk_info)``; each outcome is
+    ``(index, "ok", result)`` or ``(index, "error", error)``.
+    ``chunk_info`` always carries at least the executor's identity
+    (``origin`` = ``host#pid``, ``host_id`` = ``host#incarnation`` on
+    multi-host pools), per-cell measured seconds (``cell_times``, a
+    tuple of ``(index, seconds)``), the chunk's total service seconds
+    (``service_s``), and the unarmed-timeout count — the engine's cost
+    model learns runtime estimates and host speeds from these
+    (docs/INTERNALS.md §18).  With a live capture it is the full
+    clock-stamped telemetry snapshot, same extra keys included.
+    Per-cell failures are *returned*, not raised, so one bad cell
+    cannot discard its chunk-mates' finished work.  A worker-crash
+    injection still hard-exits the process, so the parent observes a
+    broken pool exactly like a segfaulting or OOM-killed worker.
 
     Telemetry never influences execution: cells run identically with and
     without a capture spec (the bit-identity grid in
@@ -263,6 +269,8 @@ def run_chunk(payload: ChunkPayload) -> tuple:
     inject_host_faults(plan)
     unarmed = 0
     outcomes: List[Tuple[int, str, object]] = []
+    cell_times: List[Tuple[int, float]] = []
+    chunk_started = time.perf_counter()
     for index, spec, attempt in cells:
         if plan is not None and plan.decide(
             "worker_crash", (spec.benchmark_name, spec.scheme, attempt)
@@ -285,6 +293,7 @@ def run_chunk(payload: ChunkPayload) -> tuple:
                 )
 
         status = "ok"
+        cell_started = time.perf_counter()
         try:
             inject_cell_faults(plan, spec, attempt)
             inject_straggler_delay(plan, spec, attempt)
@@ -306,17 +315,29 @@ def run_chunk(payload: ChunkPayload) -> tuple:
             status = "error"
             outcomes.append((index, "error", picklable(error)))
         finally:
+            cell_times.append(
+                (index, time.perf_counter() - cell_started)
+            )
             if capture is not None:
                 capture.end_cell(index, spec, status)
     warmup, _WORKER_WARMUP = _WORKER_WARMUP, None
     if capture is not None:
-        return warmup, outcomes, capture.finish(unarmed)
-    if unarmed:
-        # No capture requested, but a disabled timeout must still reach
-        # the parent's counters instead of vanishing in the worker.
-        return warmup, outcomes, {
+        chunk_info = capture.finish(unarmed)
+    else:
+        chunk_info = {
             "v": SNAPSHOT_VERSION,
             "unarmed_timeouts": unarmed,
             "cells": None,
         }
-    return warmup, outcomes
+    # Cost-model feed (docs/INTERNALS.md §18): executor identity and
+    # measured per-cell seconds ride every reply.  ``host_id`` is the
+    # pool-level identity (``host#incarnation``) when one exists, so
+    # host-speed EWMAs survive worker respawns within an incarnation.
+    host, incarnation = worker_host_identity()
+    chunk_info["origin"] = worker_origin()
+    chunk_info["host_id"] = (
+        f"{host}#{incarnation}" if host is not None else None
+    )
+    chunk_info["cell_times"] = tuple(cell_times)
+    chunk_info["service_s"] = time.perf_counter() - chunk_started
+    return warmup, outcomes, chunk_info

@@ -32,8 +32,21 @@ Entry layout (schema version 1)::
       "scheme": "hotspot",
       "created": 1754000000.0,
       "repro_version": "1.0.0",
-      "result": { ... RunResult.to_dict() ... }
+      "result": { ... RunResult.to_dict() ... },
+      "meta": {                       # optional execution metadata
+        "v": 1,                       #   (its own schema version)
+        "elapsed_s": 0.41,            # measured cell wall-clock
+        "executed_by": "host#pid",    # executor identity
+        "cost_key": ["db", "hotspot", "fast", 20]
+      }
     }
+
+The ``meta`` block is additive and independently versioned: entries
+without it (written by older checkouts) read fine, and readers ignore a
+``meta`` whose ``v`` they don't understand.  It never participates in
+result identity — it exists so the scheduler's cost model
+(:mod:`repro.sim.costmodel`) can warm-boot runtime estimates across
+processes via :meth:`ResultStore.iter_meta`.
 
 Robustness rules:
 
@@ -128,6 +141,10 @@ class StoreEntryInfo:
     schema: Optional[int]
     created: Optional[float]
     corrupt: bool = False
+    #: On-disk size (0 when the file vanished mid-listing).
+    size_bytes: int = 0
+    #: File mtime (LRU axis for ``store_gc --max-bytes``; 0.0 unknown).
+    mtime: float = 0.0
 
     @property
     def known_schema(self) -> bool:
@@ -325,16 +342,24 @@ class ResultStore:
         scheme: str,
         fingerprint: str,
         result: RunResult,
+        meta: Optional[Dict[str, object]] = None,
     ) -> Path:
         """Atomically persist one cell's result; returns the entry path."""
-        return self.put_many([(benchmark, scheme, fingerprint, result)])[0]
+        return self.put_many(
+            [(benchmark, scheme, fingerprint, result, meta)]
+        )[0]
 
     def put_many(
         self,
-        entries: Iterable[Tuple[str, str, str, RunResult]],
+        entries: Iterable[Tuple],
     ) -> List[Path]:
         """Persist a batch of ``(benchmark, scheme, fingerprint, result)``
-        entries; returns their paths in order.
+        — optionally ``(..., result, meta)`` — entries; returns their
+        paths in order.
+
+        ``meta`` is the optional execution-metadata block (see the
+        module docstring); a 4-tuple writes an entry without one,
+        exactly as before.
 
         Entries are grouped **per shard**: each shard is created once,
         its writer lease taken once, and its entries committed under it
@@ -349,12 +374,12 @@ class ResultStore:
             return []
         by_shard: Dict[Path, List[int]] = {}
         keyed = []
-        for position, (benchmark, scheme, fingerprint, result) in enumerate(
-            entries
-        ):
+        for position, entry in enumerate(entries):
+            benchmark, scheme, fingerprint, result = entry[:4]
+            meta = entry[4] if len(entry) > 4 else None
             shard = self.shard_for(fingerprint)
             by_shard.setdefault(shard, []).append(position)
-            keyed.append((benchmark, scheme, fingerprint, result))
+            keyed.append((benchmark, scheme, fingerprint, result, meta))
         paths: List[Optional[Path]] = [None] * len(entries)
         for shard, positions in by_shard.items():
             shard.mkdir(parents=True, exist_ok=True)
@@ -374,6 +399,7 @@ class ResultStore:
         scheme: str,
         fingerprint: str,
         result: RunResult,
+        meta: Optional[Dict[str, object]] = None,
     ) -> Path:
         path = self.path_for(benchmark, scheme, fingerprint)
         payload = {
@@ -385,6 +411,8 @@ class ResultStore:
             "repro_version": _repro_version(),
             "result": result.to_dict(),
         }
+        if meta:
+            payload["meta"] = meta
         # The temp file lives in the shard so the commit rename never
         # crosses a filesystem boundary.
         fd, tmp_name = tempfile.mkstemp(
@@ -417,6 +445,11 @@ class ResultStore:
         """Metadata for every ``*.json`` entry (all shards + flat root)."""
         for path in self._glob_both("*.json"):
             try:
+                stat = path.stat()
+                size, mtime = stat.st_size, stat.st_mtime
+            except OSError:
+                size, mtime = 0, 0.0
+            try:
                 with open(path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
                 yield StoreEntryInfo(
@@ -426,6 +459,8 @@ class ResultStore:
                     fingerprint=payload.get("fingerprint"),
                     schema=payload.get("schema"),
                     created=payload.get("created"),
+                    size_bytes=size,
+                    mtime=mtime,
                 )
             except (OSError, ValueError):
                 yield StoreEntryInfo(
@@ -436,7 +471,29 @@ class ResultStore:
                     schema=None,
                     created=None,
                     corrupt=True,
+                    size_bytes=size,
+                    mtime=mtime,
                 )
+
+    def iter_meta(self) -> Iterator[Dict[str, object]]:
+        """The ``meta`` block of every known-schema entry that has one.
+
+        This is the cost model's warm-boot feed
+        (:meth:`repro.sim.costmodel.CostModel.bootstrap_from_store`):
+        entries written before metadata existed, corrupt files, and
+        foreign schema versions are all skipped silently.
+        """
+        for path in self._glob_both("*.json"):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if payload.get("schema") != STORE_SCHEMA_VERSION:
+                continue
+            meta = payload.get("meta")
+            if isinstance(meta, dict):
+                yield meta
 
     def stale_tmp_files(self) -> List[Path]:
         """Leftover atomic-write temp files (a crashed writer's debris)."""

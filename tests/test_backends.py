@@ -310,7 +310,8 @@ class TestExecutionOptions:
         canonical = canonicalize(cfg)
         for field in (
             "backend", "jobs", "store_dir", "no_store", "chunk_size",
-            "max_pool_rebuilds", "pool",
+            "max_pool_rebuilds", "pool", "schedule", "cost_model",
+            "cost_model_dir",
         ):
             assert field not in str(canonical)
         assert cfg.fingerprint() == fingerprint

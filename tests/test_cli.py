@@ -153,15 +153,18 @@ class TestStoreGC:
         lines = out.splitlines()
         header, rule = lines[0], lines[1]
         assert header.split() == [
-            "file", "benchmark", "scheme", "fingerprint", "schema", "age",
+            "file", "benchmark", "scheme", "fingerprint", "schema",
+            "bytes", "shard", "shard-bytes", "age",
         ]
         assert set(rule) <= {"-", " "}
         body = lines[2:-1]
         assert len(body) == 3  # baseline/bbv/hotspot cells
         schema_col = header.index("schema")
+        bytes_col = header.index("bytes")
         age_col = header.index("age")
         for line in body:
             assert line[schema_col:].startswith("v")
+            assert int(line[bytes_col:].split()[0]) > 0
             assert line[age_col:].rstrip().endswith("d")
         assert "3 entries" in lines[-1]
 
@@ -194,3 +197,66 @@ class TestStoreGC:
         assert "+2 corrupt/tmp file(s)" in out
         assert list(store_dir.iterdir()) == []
         assert ResultStore(store_dir).corrupt_files() == []
+
+    def test_max_bytes_prunes_lru_by_mtime(self, capsys, tmp_path):
+        import json as json_mod
+        import os as os_mod
+
+        from repro.sim.store import ResultStore
+
+        store_dir = tmp_path / "store"
+        # Four 1000-byte entries with strictly increasing mtimes; a
+        # 2500-byte cap must evict exactly the two oldest (LRU).
+        names = []
+        for n in range(4):
+            fingerprint = f"{n:x}{n:x}" * 32
+            shard = store_dir / fingerprint[:2]
+            shard.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema": 1,
+                "fingerprint": fingerprint,
+                "benchmark": "db",
+                "scheme": "baseline",
+                "created": 1_754_000_000 + n,
+                "result": {},
+            }
+            body = json_mod.dumps(payload)
+            # Trailing whitespace keeps the JSON valid while pinning the
+            # file to exactly 1000 bytes.
+            body += " " * (1000 - len(body))
+            path = shard / f"db__baseline__{fingerprint[:24]}.json"
+            path.write_text(body)
+            os_mod.utime(path, (1_754_000_000 + n, 1_754_000_000 + n))
+            names.append(path.name)
+
+        store_gc = self._load_tool()
+        # Dry run first: reports, deletes nothing.
+        assert store_gc.main(
+            ["--store-dir", str(store_dir), "--max-bytes", "2500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would prune 2 of 4 entries" in out
+        assert names[0] in out and names[1] in out
+        assert sum(
+            1 for _ in ResultStore(store_dir).entries()
+        ) == 4
+
+        # Real prune: the two oldest go, the two newest survive.
+        assert store_gc.main(
+            ["--store-dir", str(store_dir), "--max-bytes", "2500",
+             "--prune"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruning 2 of 4 entries" in out
+        survivors = {
+            entry.path.name for entry in ResultStore(store_dir).entries()
+        }
+        assert survivors == {names[2], names[3]}
+
+        # Already under the cap: nothing selected.
+        assert store_gc.main(
+            ["--store-dir", str(store_dir), "--max-bytes", "2500",
+             "--prune"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruning 0 of 2 entries" in out

@@ -284,11 +284,20 @@ class TestChunkProtocol:
         cfg = ExperimentConfig(max_instructions=budget)
         return ((0, RunSpec("db", scheme, cfg), 1),)
 
-    def test_legacy_payload_gets_legacy_reply(self):
+    def test_captureless_payload_gets_minimal_chunk_info(self):
+        # No capture spec: the reply still carries the minimal snapshot
+        # the scheduler's cost model feeds on (per-cell seconds and the
+        # executor identity), but no telemetry cells.
         reply = run_chunk((self._cells(), None, None))
-        assert len(reply) == 2
-        _, outcomes = reply
+        assert len(reply) == 3
+        _, outcomes, chunk_info = reply
         assert outcomes[0][1] == "ok"
+        assert chunk_info["v"] == SNAPSHOT_VERSION
+        assert chunk_info["cells"] is None
+        assert chunk_info["origin"]
+        ((index, seconds),) = chunk_info["cell_times"]
+        assert index == 0 and seconds > 0.0
+        assert chunk_info["service_s"] >= seconds
 
     def test_capture_payload_gets_chunk_info(self):
         # 300k instructions: enough budget for the tuner to finish a

@@ -41,6 +41,16 @@ Times representative cells and writes a ``BENCH_<date>.json`` snapshot:
   The pool spawn is deliberately outside the timed region — a
   persistent pool pays it once per engine, not per batch — and the
   host's CPU count is recorded so the gate can be interpreted.
+* ``engine:makespan-skew`` — the scheduler cell: a deliberately skewed
+  batch (10 light cells + 2 heavy cells at ~10x the light budget, the
+  heavies *last* in submission order) through two warm jobs=2 engines
+  sharing one pre-trained cost model — one under ``schedule="fifo"``
+  (the legacy count-based chunks pair both heavies into the final
+  chunk, serialising them on one worker), one under ``schedule="lpt"``
+  (cost-balanced packing runs the heavies in parallel up front).  The
+  gate requires LPT to beat FIFO by ``SKEW_MIN_SPEEDUP`` wall clock on
+  a multi-core host; on a single-core host the ratio is recorded, not
+  gated (there is no parallelism for the plan to exploit).
 
 For the *kernel* cells the compared statistic is CPU time
 (``time.process_time``): single-process, so it is the less noisy clock.
@@ -140,6 +150,12 @@ WARM_COLD_FACTOR = 0.9
 #: parallel overhead (chunk pickling, result shipping, scheduling) to
 #: stay within this factor of the serial wall clock.
 SINGLE_CORE_OVERHEAD = 1.15
+#: The makespan-skew cell: light/heavy split and the LPT-vs-FIFO
+#: wall-clock gate (multi-core hosts only; see the module docstring).
+SKEW_LIGHT_CELLS = 10
+SKEW_HEAVY_CELLS = 2
+SKEW_FACTOR = 10
+SKEW_MIN_SPEEDUP = 1.3
 #: The instrumented-but-disabled telemetry path (NULL_TELEMETRY sink)
 #: must stay within noise of running with no telemetry argument at all:
 #: a multiplicative bound plus a small absolute slack so sub-second
@@ -339,14 +355,125 @@ def bench_engine_cells(budget: int, repeats: int) -> Dict[str, object]:
             )
             engine2.close()
     n_cells = len(ENGINE_BENCHMARKS) * 3
+    host_cpus = os.cpu_count() or 1
     out = {
-        name: dict(timing, budget=budget, cells=n_cells)
+        name: dict(
+            timing, budget=budget, cells=n_cells, host_cpus=host_cpus
+        )
         for name, timing in cells.items()
     }
     out["engine:parallel-efficiency"] = bench_parallel_efficiency(
         config, repeats, n_cells
     )
+    out["engine:makespan-skew"] = bench_makespan_skew(budget, repeats)
     return out
+
+
+def _skew_specs(light_budget: int, heavy_budget: int) -> list:
+    """10 light + 2 heavy cells, heavies last in submission order.
+
+    Distinct seeds keep the cells' fingerprints distinct (no dedup
+    collapse) while the cost key — benchmark/scheme/kernel/budget
+    bucket — still groups all lights together and all heavies together,
+    which is exactly what the scheduler's estimates key on.
+    """
+    lights = [
+        RunSpec(
+            "db",
+            "baseline",
+            ExperimentConfig(max_instructions=light_budget, seed=seed),
+        )
+        for seed in range(SKEW_LIGHT_CELLS)
+    ]
+    heavies = [
+        RunSpec(
+            "db",
+            "baseline",
+            ExperimentConfig(max_instructions=heavy_budget, seed=100 + n),
+        )
+        for n in range(SKEW_HEAVY_CELLS)
+    ]
+    return lights + heavies
+
+
+def bench_makespan_skew(budget: int, repeats: int) -> Dict[str, object]:
+    """LPT vs FIFO wall clock on a deliberately skewed jobs=2 batch.
+
+    One untimed training batch teaches a shared cost model the ~10:1
+    light/heavy split; then two warm engines run the same batch with
+    caches off — identical work, identical results, only the chunk plan
+    differs.  FIFO's count-based chunks pair both heavies into the last
+    chunk (they serialise on one worker after the lights drain); LPT
+    fronts them on separate workers.
+    """
+    from repro.sim.costmodel import CostModel
+
+    light_budget = max(5_000, budget // 2)
+    heavy_budget = light_budget * SKEW_FACTOR
+    specs = _skew_specs(light_budget, heavy_budget)
+    model = CostModel()
+    trainer = Engine(
+        jobs=2, use_cache=False, memory_cache={}, cost_model=model
+    )
+    try:
+        trainer.run(specs)  # untimed: teaches the model the skew
+    finally:
+        trainer.close()
+    engines = {
+        "fifo": Engine(
+            jobs=2,
+            use_cache=False,
+            memory_cache={},
+            schedule="fifo",
+            cost_model=model,
+        ),
+        "lpt": Engine(
+            jobs=2,
+            use_cache=False,
+            memory_cache={},
+            schedule="lpt",
+            cost_model=model,
+        ),
+    }
+    best: Dict[str, Optional[Dict[str, float]]] = {
+        "fifo": None, "lpt": None,
+    }
+    try:
+        # Pool spawn + benchmark warm-up untimed, as in the
+        # parallel-efficiency cell: one throwaway light cell each.
+        warm = [
+            RunSpec(
+                "db",
+                "baseline",
+                ExperimentConfig(max_instructions=light_budget, seed=999),
+            )
+        ]
+        for engine in engines.values():
+            engine.run(warm)
+        for _ in range(repeats):
+            for mode, engine in engines.items():
+                best[mode] = _merge_min(
+                    best[mode],
+                    _time_once(lambda e=engine: e.run(specs)),
+                )
+        predicted = engines["lpt"].stats.predicted_makespan_s
+    finally:
+        for engine in engines.values():
+            engine.close()
+    fifo_wall = best["fifo"]["wall_s"]
+    lpt_wall = best["lpt"]["wall_s"]
+    return {
+        "light_budget": light_budget,
+        "heavy_budget": heavy_budget,
+        "cells": len(specs),
+        "jobs": 2,
+        "repeats": repeats,
+        "fifo_wall_s": fifo_wall,
+        "lpt_wall_s": lpt_wall,
+        "speedup_wall": fifo_wall / lpt_wall,
+        "lpt_predicted_makespan_s": predicted,
+        "host_cpus": os.cpu_count() or 1,
+    }
 
 
 def bench_parallel_efficiency(
@@ -447,6 +574,13 @@ def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
         f"ratio={efficiency['wall_ratio']:.2f}x "
         f"(host_cpus={efficiency['host_cpus']})"
     )
+    skew = cells["engine:makespan-skew"]
+    print(
+        f"    makespan-skew: fifo wall={skew['fifo_wall_s']:.3f}s "
+        f"lpt wall={skew['lpt_wall_s']:.3f}s "
+        f"speedup={skew['speedup_wall']:.2f}x "
+        f"(host_cpus={skew['host_cpus']})"
+    )
 
     kernel_entries = {
         name: entry for name, entry in cells.items()
@@ -466,6 +600,7 @@ def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
             name: cells[name]["speedup_cpu"] for name in heavy_names
         },
         "parallel_wall_ratio": efficiency["wall_ratio"],
+        "makespan_skew_speedup_wall": skew["speedup_wall"],
         "host_cpus": efficiency["host_cpus"],
         "obs_null_ratio_cpu": obs["null_ratio_cpu"],
         "obs_capture_ratio_cpu": obs["capture_ratio_cpu"],
@@ -496,11 +631,81 @@ def run_bench(budget: int, repeats: int, mode: str) -> Dict[str, object]:
     }
 
 
+class _GateTable:
+    """Collects one row per gate and renders them as one aligned delta
+    table: every cell's current value next to its baseline value and
+    the requirement, pass/fail per gate — never first-failure-only."""
+
+    HEADERS = ("cell", "metric", "current", "baseline", "required", "status")
+
+    def __init__(self) -> None:
+        self.rows: list = []
+        self.failures = 0
+
+    def gate(
+        self,
+        cell: str,
+        metric: str,
+        value: str,
+        base: str,
+        required: str,
+        passed: Optional[bool],
+    ) -> None:
+        """``passed=None`` records an ungated context row (``info``)."""
+        if passed is None:
+            status = "info"
+        elif passed:
+            status = "ok"
+        else:
+            status = "REGRESSION"
+            self.failures += 1
+        self.rows.append((cell, metric, value, base, required, status))
+
+    def render(self) -> str:
+        rows = [self.HEADERS] + [
+            tuple(str(field) for field in row) for row in self.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in rows)
+            for column in range(len(self.HEADERS))
+        ]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append(
+                "  "
+                + "  ".join(
+                    field.ljust(width)
+                    for field, width in zip(row, widths)
+                ).rstrip()
+            )
+            if index == 0:
+                lines.append(
+                    "  " + "  ".join("-" * width for width in widths)
+                )
+        return "\n".join(lines)
+
+
+def _base_value(base_cells, name, key) -> str:
+    entry = base_cells.get(name)
+    if not isinstance(entry, dict) or key not in entry:
+        return "-"
+    value = entry[key]
+    if isinstance(value, dict):
+        return "-"
+    return f"{value:.2f}" if isinstance(value, float) else str(value)
+
+
 def check_against_baseline(
     current: Dict[str, object], baseline: Dict[str, object]
 ) -> int:
-    """Regression gate; returns the number of failures (0 = pass)."""
-    failures = 0
+    """Regression gate; returns the number of failures (0 = pass).
+
+    Every gated metric is evaluated and printed as one per-cell delta
+    table (current vs baseline vs requirement); the return value counts
+    the failing gates, so a run with three regressions reports all
+    three, not just the first.
+    """
+    table = _GateTable()
     base_cells = baseline.get("cells", {})
     for name, entry in current["cells"].items():
         if not name.startswith("kernel:"):
@@ -512,13 +717,14 @@ def check_against_baseline(
             required = max(
                 required, base["speedup_cpu"] * SPEEDUP_REL_TOLERANCE
             )
-        status = "ok" if speedup >= required else "REGRESSION"
-        print(
-            f"  {name}: speedup_cpu={speedup:.2f}x "
-            f"(required >= {required:.2f}x) {status}"
+        table.gate(
+            name,
+            "speedup_cpu",
+            f"{speedup:.2f}x",
+            _base_value(base_cells, name, "speedup_cpu"),
+            f">= {required:.2f}x",
+            speedup >= required,
         )
-        if speedup < required:
-            failures += 1
     live_cells = {
         f"kernel-turbo:{b}/{s}": live for b, s, _, live in TURBO_CELLS
     }
@@ -546,51 +752,66 @@ def check_against_baseline(
             required_ref = SPEEDUP_ABS_FLOOR
             required_fast = TURBO_DEOPT_PARITY
         smoke = entry["equivalence_smoke"]
-        passed = (
-            vs_ref >= required_ref
-            and vs_fast >= required_fast
-            and smoke["pass"]
+        table.gate(
+            name,
+            "speedup_cpu_vs_reference",
+            f"{vs_ref:.2f}x",
+            _base_value(base_cells, name, "speedup_cpu_vs_reference"),
+            f">= {required_ref:.2f}x",
+            vs_ref >= required_ref,
         )
-        status = "ok" if passed else "REGRESSION"
-        print(
-            f"  {name}: vs_reference={vs_ref:.2f}x "
-            f"(required >= {required_ref:.2f}x) "
-            f"vs_fast={vs_fast:.2f}x (required >= {required_fast:.2f}x) "
-            f"equivalence_smoke="
-            f"{'pass' if smoke['pass'] else 'FAIL'} {status}"
+        table.gate(
+            name,
+            "speedup_cpu_vs_fast",
+            f"{vs_fast:.2f}x",
+            _base_value(base_cells, name, "speedup_cpu_vs_fast"),
+            f">= {required_fast:.2f}x",
+            vs_fast >= required_fast,
         )
-        if not passed:
-            failures += 1
+        table.gate(
+            name,
+            "equivalence_smoke",
+            "pass" if smoke["pass"] else "FAIL",
+            "-",
+            "pass",
+            bool(smoke["pass"]),
+        )
     cold = current["cells"].get("engine:cold")
     warm = current["cells"].get("engine:warm")
     if cold and warm:
         # Wall clock on purpose: engine batches burn CPU in worker
         # processes the parent's process_time cannot see.
         limit = cold["wall_s"] * WARM_COLD_FACTOR
-        status = "ok" if warm["wall_s"] <= limit else "REGRESSION"
-        print(
-            f"  engine:warm wall={warm['wall_s']:.3f}s "
-            f"(required <= {limit:.3f}s, cold={cold['wall_s']:.3f}s) "
-            f"{status}"
+        table.gate(
+            "engine:warm",
+            "wall_s",
+            f"{warm['wall_s']:.3f}s",
+            _base_value(base_cells, "engine:warm", "wall_s"),
+            f"<= {limit:.3f}s (cold x {WARM_COLD_FACTOR})",
+            warm["wall_s"] <= limit,
         )
-        if warm["wall_s"] > limit:
-            failures += 1
     obs = current["cells"].get("obs:overhead")
     if obs:
         limit = (
             obs["off"]["cpu_s"] * OBS_NULL_OVERHEAD_FACTOR
             + OBS_ABS_SLACK_S
         )
-        passed = obs["null"]["cpu_s"] <= limit
-        status = "ok" if passed else "REGRESSION"
-        print(
-            f"  obs:overhead null-sink cpu={obs['null']['cpu_s']:.3f}s "
-            f"(required <= {limit:.3f}s, off={obs['off']['cpu_s']:.3f}s) "
-            f"{status}; capture={obs['capture_ratio_cpu']:.2f}x "
-            f"(recorded, not gated)"
+        table.gate(
+            "obs:overhead",
+            "null_cpu_s",
+            f"{obs['null']['cpu_s']:.3f}s",
+            "-",
+            f"<= {limit:.3f}s (off={obs['off']['cpu_s']:.3f}s)",
+            obs["null"]["cpu_s"] <= limit,
         )
-        if not passed:
-            failures += 1
+        table.gate(
+            "obs:overhead",
+            "capture_ratio_cpu",
+            f"{obs['capture_ratio_cpu']:.2f}x",
+            _base_value(base_cells, "obs:overhead", "capture_ratio_cpu"),
+            "(recorded, not gated)",
+            None,
+        )
     efficiency = current["cells"].get("engine:parallel-efficiency")
     if efficiency:
         cpus = int(efficiency.get("host_cpus", 1))
@@ -603,17 +824,48 @@ def check_against_baseline(
             passed = parallel <= serial * SINGLE_CORE_OVERHEAD
             requirement = (
                 f"<= {serial * SINGLE_CORE_OVERHEAD:.3f}s "
-                f"(single-core host: serial {serial:.3f}s "
-                f"x overhead bound {SINGLE_CORE_OVERHEAD})"
+                f"(1 cpu: serial x {SINGLE_CORE_OVERHEAD})"
             )
-        status = "ok" if passed else "REGRESSION"
-        print(
-            f"  engine:parallel-efficiency warm-pool jobs2 "
-            f"wall={parallel:.3f}s (required {requirement}) {status}"
+        table.gate(
+            "engine:parallel-efficiency",
+            "parallel_wall_s",
+            f"{parallel:.3f}s",
+            _base_value(
+                base_cells, "engine:parallel-efficiency", "parallel_wall_s"
+            ),
+            requirement,
+            passed,
         )
-        if not passed:
-            failures += 1
-    return failures
+    skew = current["cells"].get("engine:makespan-skew")
+    if skew:
+        cpus = int(skew.get("host_cpus", 1))
+        speedup = skew["speedup_wall"]
+        base = _base_value(
+            base_cells, "engine:makespan-skew", "speedup_wall"
+        )
+        if cpus >= 2:
+            # The scheduler's raison d'être: on a skewed batch LPT must
+            # beat the legacy FIFO plan by a real margin.
+            table.gate(
+                "engine:makespan-skew",
+                "speedup_wall",
+                f"{speedup:.2f}x",
+                base,
+                f">= {SKEW_MIN_SPEEDUP:.2f}x ({cpus} cpus)",
+                speedup >= SKEW_MIN_SPEEDUP,
+            )
+        else:
+            # One core: both plans serialise; nothing to gate.
+            table.gate(
+                "engine:makespan-skew",
+                "speedup_wall",
+                f"{speedup:.2f}x",
+                base,
+                "(1 cpu: recorded, not gated)",
+                None,
+            )
+    print(table.render())
+    return table.failures
 
 
 def main(argv=None) -> int:

@@ -20,6 +20,10 @@ older/newer checkouts)::
 
     PYTHONPATH=src python tools/store_gc.py --unknown-schema --prune
 
+Cap the store at 64 MiB, evicting least-recently-written entries first::
+
+    PYTHONPATH=src python tools/store_gc.py --max-bytes 67108864 --prune
+
 Without ``--prune`` the tool only reports what it *would* delete.  To
 wipe the store completely, pass ``--all --prune`` (equivalent to
 ``repro.sim.experiment.clear_cache()``'s store side).
@@ -62,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"not the current one ({STORE_SCHEMA_VERSION})",
     )
     parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="select the oldest entries (by file mtime, LRU) until the "
+        "store's total entry bytes fit under N",
+    )
+    parser.add_argument(
         "--all", action="store_true", help="select every entry"
     )
     parser.add_argument(
@@ -69,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_table",
         help="print every entry as one aligned table (file, cell, "
-        "fingerprint, schema version, created age)",
+        "fingerprint, schema version, entry bytes, shard and its total "
+        "bytes, created age)",
     )
     parser.add_argument(
         "--prune",
@@ -109,13 +122,53 @@ def describe(entry: StoreEntryInfo) -> str:
     return f"{entry.path.name}: {detail}"
 
 
+def shard_of(entry: StoreEntryInfo) -> str:
+    """The content-hash shard an entry lives in (``.`` for flat root)."""
+    parent = entry.path.parent.name
+    return parent if len(parent) == 2 else "."
+
+
+def shard_bytes(entries: List[StoreEntryInfo]) -> dict:
+    """Total entry bytes per shard directory."""
+    totals: dict = {}
+    for entry in entries:
+        shard = shard_of(entry)
+        totals[shard] = totals.get(shard, 0) + entry.size_bytes
+    return totals
+
+
 def render_listing(entries: List[StoreEntryInfo]) -> str:
-    """One aligned table over all entries: cell, schema, created age."""
-    headers = ("file", "benchmark", "scheme", "fingerprint", "schema", "age")
+    """One aligned table over all entries: cell, schema, size, age —
+    plus each row's shard and the shard's total bytes."""
+    totals = shard_bytes(entries)
+    headers = (
+        "file",
+        "benchmark",
+        "scheme",
+        "fingerprint",
+        "schema",
+        "bytes",
+        "shard",
+        "shard-bytes",
+        "age",
+    )
     rows = [headers]
     for entry in entries:
+        shard = shard_of(entry)
         if entry.corrupt:
-            rows.append((entry.path.name, "CORRUPT", "-", "-", "-", "-"))
+            rows.append(
+                (
+                    entry.path.name,
+                    "CORRUPT",
+                    "-",
+                    "-",
+                    "-",
+                    str(entry.size_bytes),
+                    shard,
+                    str(totals[shard]),
+                    "-",
+                )
+            )
             continue
         schema = f"v{entry.schema}" + ("" if entry.known_schema else " (?)")
         rows.append(
@@ -125,6 +178,9 @@ def render_listing(entries: List[StoreEntryInfo]) -> str:
                 entry.scheme or "?",
                 (entry.fingerprint or "?")[:12],
                 schema,
+                str(entry.size_bytes),
+                shard,
+                str(totals[shard]),
                 f"{entry.age_days():.1f}d",
             )
         )
@@ -142,6 +198,31 @@ def render_listing(entries: List[StoreEntryInfo]) -> str:
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
     return "\n".join(lines)
+
+
+def over_byte_cap(
+    entries: List[StoreEntryInfo], max_bytes: int
+) -> List[StoreEntryInfo]:
+    """Least-recently-written entries whose eviction brings the store's
+    total entry bytes under ``max_bytes``.
+
+    LRU by file mtime: the newest entries are kept, the oldest go first.
+    Corrupt entries sort with their mtime like everything else (they
+    carry no payload worth protecting).  Ties break by path for
+    determinism.
+    """
+    total = sum(entry.size_bytes for entry in entries)
+    if total <= max_bytes:
+        return []
+    victims: List[StoreEntryInfo] = []
+    for entry in sorted(
+        entries, key=lambda e: (e.mtime, str(e.path))
+    ):
+        if total <= max_bytes:
+            break
+        victims.append(entry)
+        total -= entry.size_bytes
+    return victims
 
 
 def main(argv: List[str] = None) -> int:
@@ -188,16 +269,28 @@ def main(argv: List[str] = None) -> int:
             print("  (prune with --all --prune)")
         return 0
     filtering = (
-        args.all or args.unknown_schema or args.older_than_days is not None
+        args.all
+        or args.unknown_schema
+        or args.older_than_days is not None
+        or args.max_bytes is not None
     )
     total = 0
+    all_entries: List[StoreEntryInfo] = []
     chosen: List[StoreEntryInfo] = []
     for entry in store.entries():
         total += 1
+        all_entries.append(entry)
         if not filtering:
             print(describe(entry))
         elif selected(args, entry):
             chosen.append(entry)
+    if args.max_bytes is not None:
+        already = {str(entry.path) for entry in chosen}
+        chosen.extend(
+            entry
+            for entry in over_byte_cap(all_entries, max(0, args.max_bytes))
+            if str(entry.path) not in already
+        )
     if not filtering:
         print(f"{total} entr{'y' if total == 1 else 'ies'} in {store.root}")
         return 0
